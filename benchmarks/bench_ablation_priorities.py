@@ -1,0 +1,91 @@
+"""Ablation 1 — yum-plugin-priorities on vs off.
+
+Section 3 requires installing the priorities plugin before enabling the
+XSEDE repository.  The ablation shows why: with a base-OS repository
+carrying a same-named, higher-versioned package (distributions rebase
+packages all the time), disabling the plugin lets the base build shadow the
+XSEDE run-alike build, and the compatibility audit's version-currency
+dimension degrades.
+"""
+
+import pytest
+
+from repro.core import audit_host, xsede_packages
+from repro.distro import CENTOS_6_5, Host
+from repro.hardware import build_littlefe_modified
+from repro.rpm import Package, RpmDatabase
+from repro.yum import RepoSet, Repository, YumClient
+
+
+def build_repos():
+    """XSEDE repo + a base repo whose 'python' is newer but non-run-alike."""
+    xsede = Repository("xsede", priority=50)
+    xsede.add_all(xsede_packages())
+    base = Repository("centos-base", priority=90)
+    # the distro rebased python: numerically newer, not the XSEDE build
+    base.add(Package(name="python", version="2.7.99", release="0.el6",
+                     commands=("python",)))
+    return xsede, base
+
+
+def install_python(use_priorities: bool):
+    xsede, base = build_repos()
+    host = Host(build_littlefe_modified().machine.head, CENTOS_6_5)
+    client = YumClient(host, repos=RepoSet([xsede, base], use_priorities=use_priorities))
+    client.install("python")
+    return client
+
+
+def test_ablation_priorities(benchmark, save_artifact):
+    with_plugin = benchmark(lambda: install_python(True))
+    without_plugin = install_python(False)
+
+    v_with = with_plugin.db.get("python").evr_string
+    v_without = without_plugin.db.get("python").evr_string
+    catalogue = [p for p in xsede_packages() if p.name == "python"]
+    audit_with = audit_host(with_plugin.host, with_plugin.db, catalogue=catalogue)
+    audit_without = audit_host(
+        without_plugin.host, without_plugin.db, catalogue=catalogue
+    )
+
+    lines = [
+        "Ablation: yum-plugin-priorities",
+        "",
+        f"{'':<30}{'plugin on':>16}{'plugin off':>16}",
+        f"{'python resolved to':<30}{v_with:>16}{v_without:>16}",
+        f"{'run-alike audit':<30}{audit_with.overall:>15.0%}"
+        f"{audit_without.overall:>15.0%}",
+        "",
+        "without the plugin the base OS shadows the XSEDE build; the cluster",
+        "drifts from Stampede even though every version is 'newer'",
+    ]
+    save_artifact("ablation_priorities", "\n".join(lines))
+
+    assert v_with == "2.7.9-1"          # the XSEDE build
+    assert v_without == "2.7.99-0.el6"  # the shadowing base build
+    assert audit_with.overall > audit_without.overall
+
+
+def test_ablation_priorities_update_churn(benchmark, save_artifact):
+    """Even a correctly installed host churns on the next update without
+    the plugin: the base repo's candidate looks like an upgrade."""
+
+    def scenario():
+        xsede, base = build_repos()
+        host = Host(build_littlefe_modified().machine.head, CENTOS_6_5)
+        client = YumClient(
+            host, repos=RepoSet([xsede, base], use_priorities=True)
+        )
+        client.install("python")
+        return client
+
+    client = benchmark(scenario)
+    assert client.check_update() == []  # protected
+    client.repos.use_priorities = False
+    churn = client.check_update()
+    assert [u.name for u in churn] == ["python"]
+    save_artifact(
+        "ablation_priorities_churn",
+        "with plugin: 0 pending; without: "
+        + ", ".join(str(u) for u in churn),
+    )

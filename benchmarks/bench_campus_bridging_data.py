@@ -1,0 +1,71 @@
+"""Campus bridging end to end: software + accounts + data.
+
+The paper's goal sentence: "simplify migration between campus and national
+cyberinfrastructure."  The timed unit is the complete bridge: build a
+campus XCBC cluster and the Stampede-mini reference, make the cluster
+uniform (411 + NFS home), then move a researcher's dataset to the XSEDE
+side over GridFTP and verify the GFFS namespace sees both ends.
+"""
+
+import pytest
+
+from repro.core import build_xcbc_cluster, portability_check
+from repro.grid import GffsNamespace, GridEndpoint, build_stampede_mini, transfer
+from repro.hardware import build_littlefe_modified
+from repro.rocks.sync411 import make_cluster_uniform
+
+
+def full_bridge():
+    campus = build_xcbc_cluster(build_littlefe_modified("campus").machine).cluster
+    sync, _nfs = make_cluster_uniform(campus)
+    stampede = build_stampede_mini(nodes=3)
+
+    # the researcher exists cluster-wide and has data in the shared home
+    campus.frontend.users.add_user("researcher")
+    sync.push()  # 411 replicates the new account to every node
+    for i in range(5):
+        campus.frontend.fs.write(
+            f"/home/researcher/md/frame{i}.trr", f"trajectory-{i}" * 50
+        )
+
+    src = GridEndpoint("campus#lf", campus.frontend)
+    dst = GridEndpoint("xsede#stampede", stampede.frontend)
+    stampede.frontend.fs.mkdir("/scratch/researcher", exist_ok=True)
+    result = transfer(
+        src, dst, "/home/researcher/md", "/scratch/researcher/md", parallelism=4
+    )
+
+    ns = GffsNamespace()
+    ns.link("/resources/campus/home", campus.frontend, "/home")
+    ns.link("/resources/stampede/scratch", stampede.frontend, "/scratch")
+    return campus, stampede, result, ns
+
+
+def test_campus_bridging_data(benchmark, save_artifact):
+    campus, stampede, result, ns = benchmark(full_bridge)
+
+    frac, broken = portability_check(
+        campus.frontend, stampede.frontend,
+        ["mdrun", "R", "python", "mpirun", "module"],
+    )
+    lines = [
+        "Campus bridging: campus XCBC cluster <-> Stampede-mini",
+        "",
+        f"dataset moved: {result.files} files, {result.bytes_moved} bytes, "
+        f"{result.elapsed_s * 1000:.0f} ms over the WAN "
+        f"({result.effective_bandwidth_bytes_s / 1e6:.1f} MB/s effective)",
+        f"checksum retries: {len(result.retried_files)}",
+        f"application-command portability: {frac:.0%}",
+        f"GFFS view: /resources -> {ns.ls('/resources')}",
+    ]
+    save_artifact("campus_bridging_data", "\n".join(lines))
+
+    assert result.files == 5 and result.retried_files == []
+    assert frac == 1.0, broken
+    # both ends visible through one namespace
+    assert ns.exists("/resources/campus/home/researcher/md/frame0.trr")
+    assert ns.exists("/resources/stampede/scratch/researcher/md/frame4.trr")
+    # the compute nodes see the researcher's home too (NFS + 411)
+    compute = campus.compute["compute-0-0"][0]
+    assert compute.users.has_user("researcher")
+    assert compute.fs.exists("/home/researcher/md/frame0.trr")

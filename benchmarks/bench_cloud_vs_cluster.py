@@ -1,0 +1,74 @@
+"""Section 8 — small-cluster capex vs commercial-cloud opex.
+
+Sweeps utilisation for both paper machines, finds the crossover duty cycle,
+and prices the runaway-student scenario.  The shape the conclusion argues:
+for any seriously used deskside cluster, ownership wins quickly, and the
+cloud's failure mode is unbounded spend.
+"""
+
+import pytest
+
+from repro.core import (
+    CloudCostModel,
+    compare,
+    crossover_utilisation,
+    runaway_student_scenario,
+)
+from repro.hardware import build_limulus_hpc200, build_littlefe_modified
+
+
+def sweep_both():
+    lf = build_littlefe_modified()
+    lm = build_limulus_hpc200()
+    utilisations = [0.05, 0.1, 0.2, 0.4, 0.6, 0.8]
+    rows = []
+    for quote, label in ((lf, "LittleFe"), (lm, "Limulus HPC200")):
+        series = [
+            compare(quote.machine, quote.quoted_usd, utilisation=u)
+            for u in utilisations
+        ]
+        crossover = crossover_utilisation(quote.machine, quote.quoted_usd)
+        rows.append((label, series, crossover))
+    return utilisations, rows
+
+
+def test_cloud_vs_cluster(benchmark, save_artifact):
+    utilisations, rows = benchmark(sweep_both)
+
+    lines = ["Cluster capex vs cloud opex (4-year lifetime, $0.05/core-hour)", ""]
+    header = f"{'utilisation':<14}" + "".join(f"{u:>10.0%}" for u in utilisations)
+    for label, series, crossover in rows:
+        lines.append(f"-- {label} (crossover at {crossover:.0%} utilisation)")
+        lines.append(header)
+        lines.append(
+            f"{'cluster ($)':<14}"
+            + "".join(f"{c.cluster_usd:>10.0f}" for c in series)
+        )
+        lines.append(
+            f"{'cloud ($)':<14}"
+            + "".join(f"{c.cloud_usd:>10.0f}" for c in series)
+        )
+        lines.append("")
+    uncapped, _ = runaway_student_scenario(cores=64, days=30)
+    capped, billed = runaway_student_scenario(
+        cores=64, days=30, cloud=CloudCostModel(monthly_cap_usd=500.0)
+    )
+    lines.append(
+        f"runaway student (64 cores x 30 days): ${uncapped:,.0f} uncapped; "
+        f"${billed:,.0f} with a $500/month cap"
+    )
+    save_artifact("cloud_vs_cluster", "\n".join(lines))
+
+    for label, series, crossover in rows:
+        # cloud wins only at very low duty cycles
+        assert crossover is not None and crossover < 0.5
+        assert not series[0].cluster_wins      # 5 % utilisation: rent
+        assert series[-1].cluster_wins         # 80 % utilisation: own
+        # cloud cost crosses cluster cost exactly once in the sweep
+        flips = sum(
+            1
+            for a, b in zip(series, series[1:])
+            if a.cluster_wins != b.cluster_wins
+        )
+        assert flips == 1
+    assert uncapped == pytest.approx(2304.0)

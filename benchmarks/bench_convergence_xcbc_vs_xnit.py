@@ -1,0 +1,75 @@
+"""The equivalence claim — XCBC-from-scratch vs XNIT-retrofit convergence.
+
+Builds one cluster each way (the timed unit is the pair of full builds),
+then diffs the resulting environments and audits both against the XSEDE
+catalogue.  This is the paper's abstract rendered as a benchmark: "both
+approaches ... aid cluster administrators ... and facilitate integration
+and interoperability."
+"""
+
+import pytest
+
+from repro.core import (
+    audit_host,
+    build_limulus_cluster,
+    build_xcbc_cluster,
+    build_xnit_repository,
+    diff_environments,
+    integrate_host,
+    portability_check,
+    setup_via_repo_rpm,
+    xsede_package_names,
+)
+from repro.hardware import build_littlefe_modified
+
+
+def build_both_paths():
+    xcbc = build_xcbc_cluster(build_littlefe_modified().machine)
+    limulus = build_limulus_cluster()
+    repo = build_xnit_repository()
+    for host in limulus.hosts():
+        client = limulus.client_for(host)
+        setup_via_repo_rpm(client, repo)
+        integrate_host(client, full_toolkit=True)
+    return xcbc, limulus
+
+
+def test_convergence(benchmark, save_artifact):
+    xcbc, limulus = benchmark(build_both_paths)
+
+    xcbc_db = xcbc.cluster.frontend_db
+    xnit_db = limulus.client_for(limulus.frontend).db
+    diff = diff_environments(xcbc_db, xnit_db)
+    audit_a = audit_host(xcbc.cluster.frontend, xcbc_db)
+    audit_b = audit_host(limulus.frontend, xnit_db)
+    workflow = ["qsub", "qstat", "mdrun", "R", "mpirun", "python", "blastn"]
+    frac, broken = portability_check(
+        xcbc.cluster.frontend, limulus.frontend, workflow
+    )
+
+    lines = [
+        "Convergence: XCBC from scratch (LittleFe) vs XNIT retrofit (Limulus)",
+        "",
+        f"version mismatches on shared packages: {len(diff.version_mismatches)}",
+        f"only on XCBC side: {len(diff.only_on_a)} "
+        f"(Rocks/roll tooling: {diff.only_on_a[:5]} ...)",
+        f"only on XNIT side: {len(diff.only_on_b)} "
+        f"(vendor stack: {diff.only_on_b})",
+        "",
+        audit_a.render(),
+        "",
+        audit_b.render(),
+        "",
+        f"user workflow portability ({len(workflow)} commands): {frac:.0%}",
+    ]
+    save_artifact("convergence_xcbc_vs_xnit", "\n".join(lines))
+
+    assert diff.converged
+    assert audit_a.overall == pytest.approx(1.0)
+    assert audit_b.overall == pytest.approx(1.0)
+    assert frac == 1.0, broken
+    # the run-alike catalogue is on BOTH sides in identical versions
+    runalike = set(xsede_package_names())
+    for name in runalike:
+        if xcbc_db.has(name) and xnit_db.has(name):
+            assert xcbc_db.get(name).evr == xnit_db.get(name).evr, name

@@ -1,0 +1,71 @@
+"""Engine microbenchmarks: the package-management hot paths.
+
+Not a paper table — these keep the substrate honest as it grows: rpmvercmp
+throughput, full-catalogue dependency resolution, transaction ordering, and
+a complete single-host kickstart.  Regressions here would make the
+cluster-scale benches (Tables 2/3, the workflows) drift.
+"""
+
+from repro.core import xsede_packages
+from repro.distro import CENTOS_6_5, Host
+from repro.hardware import build_littlefe_modified
+from repro.rocks import base_os_packages
+from repro.rpm import RpmDatabase, Transaction, rpmvercmp
+from repro.yum import RepoSet, Repository, resolve_install
+
+VERSION_PAIRS = [
+    ("1.0", "1.0.1"),
+    ("2.6.32-431", "2.6.32-279"),
+    ("1.0~rc1", "1.0"),
+    ("0.0.9", "0.0.10"),
+    ("20140628", "4.6.5"),
+    ("1.7.0.79", "1.7.0.65"),
+] * 50
+
+
+def vercmp_sweep():
+    return [rpmvercmp(a, b) for a, b in VERSION_PAIRS]
+
+
+def full_resolution():
+    repo = Repository("xsede", priority=50)
+    repo.add_all(xsede_packages())
+    base = Repository("base", priority=90)
+    base.add_all(base_os_packages(CENTOS_6_5))
+    host = Host(build_littlefe_modified().machine.head, CENTOS_6_5)
+    db = RpmDatabase(host)
+    from repro.rpm import Transaction as Txn
+
+    txn = Txn(db)
+    for pkg in base_os_packages(CENTOS_6_5):
+        txn.install(pkg)
+    txn.commit()
+    names = [p.name for p in xsede_packages()]
+    return resolve_install(names, RepoSet([repo, base]), db)
+
+
+def single_host_kickstart():
+    host = Host(build_littlefe_modified().machine.head, CENTOS_6_5)
+    db = RpmDatabase(host)
+    txn = Transaction(db)
+    for pkg in base_os_packages(CENTOS_6_5) + xsede_packages():
+        txn.install(pkg)
+    txn.commit()
+    return db
+
+
+def test_rpmvercmp_throughput(benchmark):
+    results = benchmark(vercmp_sweep)
+    assert len(results) == len(VERSION_PAIRS)
+    assert results[0] == -1
+
+
+def test_full_catalogue_resolution(benchmark):
+    resolution = benchmark(full_resolution)
+    assert len(resolution.to_install) == len(xsede_packages())
+
+
+def test_single_host_kickstart(benchmark):
+    db = benchmark(single_host_kickstart)
+    assert db.unsatisfied_requirements() == []
+    assert len(db) > 120

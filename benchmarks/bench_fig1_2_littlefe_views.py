@@ -1,0 +1,41 @@
+"""Figures 1-2 — the LittleFe v4 frame, rear and front views.
+
+The paper's figures are photographs; the substitute (per DESIGN.md) renders
+the same structural content from the hardware model: six exposed mini-ITX
+nodes, per-node coolers/drives (front view, Figure 2) and per-node supplies
+plus the dual-homed head's two network drops (rear view, Figure 1).
+"""
+
+from repro.hardware import build_littlefe_modified, render_littlefe
+
+
+def render_both_views():
+    machine = build_littlefe_modified().machine
+    return (
+        render_littlefe(machine, view="rear"),   # Figure 1
+        render_littlefe(machine, view="front"),  # Figure 2
+    )
+
+
+def test_fig1_fig2_regeneration(benchmark, save_artifact):
+    rear, front = benchmark(render_both_views)
+    save_artifact(
+        "fig1_littlefe_rear",
+        "Figure 1 substitute — LittleFe V4 frame, six nodes, rear view\n\n" + rear,
+    )
+    save_artifact(
+        "fig2_littlefe_front",
+        "Figure 2 substitute — LittleFe V4 frame, six nodes, front view\n\n" + front,
+    )
+
+    # Figure 2 content: six exposed nodes, boards, coolers, drives
+    assert front.count("[slot") == 6
+    assert "Gigabyte GA-Q87TN" in front
+    assert "Rosewill" in front
+    assert front.count("Crucial M550") == 6
+    # Figure 1 content: power and network at the rear
+    assert rear.count("picoPSU") == 6
+    assert "eth0:up" in rear and "eth1:up" in rear      # dual-homed head
+    assert rear.count("eth1:unused") == 5               # compute spare ports
+    # portability callouts the text makes
+    assert "48 lb" in front

@@ -1,0 +1,27 @@
+"""Figure 3 — the internals of the Limulus HPC200 deskside cluster.
+
+Substitute rendering from the hardware model: one head node with local
+storage, three diskless compute blades, the single 850 W case supply.
+"""
+
+from repro.hardware import build_limulus_hpc200, render_limulus
+
+
+def render_internals():
+    return render_limulus(build_limulus_hpc200().machine)
+
+
+def test_fig3_regeneration(benchmark, save_artifact):
+    art = benchmark(render_internals)
+    save_artifact(
+        "fig3_limulus_internals",
+        "Figure 3 substitute — Limulus HPC200 deskside internals\n\n" + art,
+    )
+
+    assert art.count("[slot") == 4
+    assert "HEAD" in art
+    assert art.count("(diskless)") == 3        # the three blades
+    assert art.count("WD Red") >= 1            # head-node storage
+    assert "850W" in art                        # the case supply
+    assert "16 cores" in art and "793.6 GFLOPS" in art
+    assert "50 lb" in art

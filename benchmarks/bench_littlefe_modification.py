@@ -1,0 +1,78 @@
+"""Section 5.1 — the LittleFe modification, as constraint checks.
+
+Times the full modified build with validation, and regenerates the
+engineering-decision table: stock-vs-modified power, cooler clearance, the
+diskless rejection, and the Rpeak gain the Haswell parts buy.
+"""
+
+import pytest
+
+from repro.core import build_xcbc_cluster
+from repro.errors import ClearanceError, ProvisionError
+from repro.hardware import (
+    ATOM_D510,
+    CELERON_G1840,
+    GA_Q87TN,
+    INTEL_STOCK_LGA1150,
+    ROSEWILL_RCX_Z775_LP,
+    build_littlefe_modified,
+    build_littlefe_original,
+    check_cooler_fit,
+)
+
+
+def validated_build():
+    return build_littlefe_modified()
+
+
+def regenerate_modification_report() -> str:
+    stock = build_littlefe_original()
+    modified = build_littlefe_modified()
+    lines = [
+        "Section 5.1 — modifying LittleFe for XCBC",
+        "",
+        f"{'':<28}{'stock (Atom D510)':>20}{'modified (G1840)':>20}",
+        f"{'CPU watts/node':<28}{ATOM_D510.tdp_watts:>20.2f}"
+        f"{CELERON_G1840.tdp_watts:>20.2f}",
+        f"{'frame draw (W)':<28}{stock.machine.draw_watts:>20.1f}"
+        f"{modified.machine.draw_watts:>20.1f}",
+        f"{'Rpeak (GFLOPS)':<28}{stock.machine.rpeak_gflops:>20.1f}"
+        f"{modified.machine.rpeak_gflops:>20.1f}",
+        f"{'disks':<28}{'none (diskless)':>20}{'mSATA x 6':>20}",
+        f"{'power supplies':<28}{'one shared':>20}{'one per node':>20}",
+        f"{'BOM (USD)':<28}{stock.bom_usd:>20.0f}{modified.bom_usd:>20.0f}",
+        "",
+    ]
+    try:
+        check_cooler_fit(INTEL_STOCK_LGA1150, CELERON_G1840, GA_Q87TN)
+        lines.append("stock cooler: FITS (unexpected)")
+    except ClearanceError as exc:
+        lines.append(f"stock cooler: rejected — {exc}")
+    check_cooler_fit(ROSEWILL_RCX_Z775_LP, CELERON_G1840, GA_Q87TN)
+    lines.append("Rosewill RCX-Z775-LP: fits (thermal and clearance)")
+    try:
+        build_xcbc_cluster(stock.machine)
+        lines.append("stock LittleFe + XCBC: INSTALLED (unexpected)")
+    except ProvisionError:
+        lines.append("stock LittleFe + XCBC: rejected (Rocks needs disks)")
+    return "\n".join(lines)
+
+
+def test_littlefe_modification(benchmark, save_artifact):
+    from repro.hardware import render_parts_list
+
+    quote = benchmark(validated_build)
+    report = regenerate_modification_report()
+    # Section 5.1: "the parts list ... included in the LittleFe web site" —
+    # publish it with the engineering report, derived from the same build
+    report += "\n\n" + render_parts_list(quote)
+    save_artifact("littlefe_modification", report)
+
+    assert "rejected" in report
+    assert quote.machine.rpeak_gflops == pytest.approx(537.6)
+    # the power story: > 10x more Rpeak for ~3x the power
+    stock = build_littlefe_original()
+    rpeak_gain = quote.machine.rpeak_gflops / stock.machine.rpeak_gflops
+    power_gain = quote.machine.draw_watts / stock.machine.draw_watts
+    assert rpeak_gain > 10
+    assert power_gain < 5

@@ -1,0 +1,65 @@
+"""MPI fabric microbenchmarks over the two paper machines.
+
+The hpc roll ships exactly these tests (mpi-ping-pong, collectives).  The
+bench regenerates a ping-pong latency/bandwidth sweep and an allreduce
+scaling series on the LittleFe and Limulus fabrics — the substrate numbers
+under the HPL model's interconnect terms.
+"""
+
+import pytest
+
+from repro.hardware import build_limulus_hpc200, build_littlefe_modified
+from repro.mpi import MpiWorld, allreduce_sweep, effective_bandwidth, ping_pong
+from repro.network import build_cluster_network
+
+
+def make_world(machine):
+    net = build_cluster_network(machine)
+    hosts = [n.name for n in machine.nodes for _ in range(n.cores)]
+    return MpiWorld(net.fabric, hosts)
+
+
+def run_microbench():
+    results = {}
+    for quote, label in (
+        (build_littlefe_modified(), "LittleFe"),
+        (build_limulus_hpc200(), "Limulus"),
+    ):
+        world = make_world(quote.machine)
+        # cross-node ranks: first rank of node 0 and first rank of node 1
+        first_on_second_node = quote.machine.nodes[0].cores
+        points = ping_pong(
+            world, src=0, dst=first_on_second_node,
+            sizes=[8, 1024, 65536, 1 << 20],
+        )
+        world.reset_clocks()
+        sweep = allreduce_sweep(world, [64, 4096])
+        results[label] = (points, sweep)
+    return results
+
+
+def test_mpi_fabric_microbench(benchmark, save_artifact):
+    results = benchmark(run_microbench)
+
+    lines = ["MPI microbenchmarks (cross-node, GigE fabric)", ""]
+    for label, (points, sweep) in results.items():
+        lines.append(f"-- {label} ping-pong")
+        lines.append(f"{'bytes':>10}{'rtt (us)':>12}{'MB/s':>10}")
+        for p in points:
+            lines.append(
+                f"{p.nbytes:>10}{p.round_trip_s * 1e6:>12.1f}"
+                f"{p.bandwidth_bytes_s / 1e6:>10.1f}"
+            )
+        lines.append(f"   allreduce: " + ", ".join(
+            f"{count} doubles -> {t * 1e3:.2f} ms" for count, t in sweep
+        ))
+        lines.append("")
+    save_artifact("mpi_fabric_microbench", "\n".join(lines))
+
+    for label, (points, sweep) in results.items():
+        # latency floor at small messages, bandwidth asymptote below line rate
+        assert points[0].round_trip_s < points[-1].round_trip_s
+        bw = effective_bandwidth(points)
+        assert 0.5e8 < bw < 1.25e8, label
+        # allreduce time grows with payload
+        assert sweep[1][1] > sweep[0][1]

@@ -1,0 +1,51 @@
+"""Table 3 storage in action: Lustre striping on Montana's Hyalite.
+
+Regenerates the striping tuning curve (aggregate I/O time vs stripe count
+and client count) for a 2 TB dataset on the published 300 TB filesystem —
+the ``lfs setstripe`` lesson every Lustre site teaches its users.
+"""
+
+import pytest
+
+from repro.pfs import montana_hyalite_storage
+
+
+def tuning_curve():
+    stripe_counts = [1, 2, 4, 8, 16]
+    client_counts = [1, 4, 16, 64]
+    fs = montana_hyalite_storage()
+    table = {}
+    size = 2 * 10**12
+    for stripes in stripe_counts:
+        path = f"/hyalite/dataset-s{stripes}"
+        fs.create(path, size, stripe_count=stripes)
+        table[stripes] = [
+            fs.io_time_s(path, clients=c) for c in client_counts
+        ]
+    return fs, stripe_counts, client_counts, table
+
+
+def test_pfs_striping_curve(benchmark, save_artifact):
+    fs, stripe_counts, client_counts, table = benchmark(tuning_curve)
+
+    lines = [
+        "Lustre striping tuning: 2 TB dataset on Hyalite (300 TB, 20 OSTs)",
+        "I/O time in seconds (lower is better)",
+        "",
+        f"{'stripes':<9}" + "".join(f"{c:>10} cl" for c in client_counts),
+    ]
+    for stripes in stripe_counts:
+        lines.append(
+            f"{stripes:<9}" + "".join(f"{t:>12.0f}" for t in table[stripes])
+        )
+    save_artifact("pfs_striping_curve", "\n".join(lines))
+
+    # single client: striping cannot help (client link bound)
+    single_client = [table[s][0] for s in stripe_counts]
+    assert max(single_client) == pytest.approx(min(single_client))
+    # many clients: wider stripes strictly help until OSTs saturate
+    many = [table[s][-1] for s in stripe_counts]
+    assert many[0] > many[1] > many[2]
+    # capacity accounting: five 2 TB datasets on the books
+    assert fs.used_bytes == 5 * 2 * 10**12
+    assert fs.capacity_bytes == 300 * 10**12

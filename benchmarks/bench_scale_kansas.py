@@ -1,0 +1,61 @@
+"""Scale: the University of Kansas deployment, end to end.
+
+Table 3's largest row — 220 nodes / 1760 cores / 26 TF — built completely:
+hardware from the calibrated parts, leaf/spine private network (220 nodes
+do not fit one switch), PXE discovery of 219 compute nodes, and the full
+XCBC software install on every host.  One timed round (this is a
+multi-second operation by design).
+"""
+
+import pytest
+
+from repro.core import build_xcbc_cluster
+from repro.core.deployments import TABLE3_SITES, rebuild_site_hardware
+
+
+def build_kansas():
+    kansas = next(s for s in TABLE3_SITES if "Kansas" in s.site)
+    machine = rebuild_site_hardware(kansas)
+    report = build_xcbc_cluster(machine, include_optional_rolls=False)
+    return kansas, machine, report
+
+
+def test_scale_kansas(benchmark, save_artifact):
+    kansas, machine, report = benchmark.pedantic(
+        build_kansas, rounds=1, iterations=1
+    )
+    cluster = report.cluster
+
+    hosts = cluster.hosts()
+    switch_count = len(cluster.network.fabric.switch_names())
+    node_names = [n.name for n in machine.nodes]
+    worst = max(
+        cluster.network.fabric.path_cost(node_names[1], other).hops
+        for other in (node_names[2], node_names[-1])
+    )
+    lines = [
+        "Scale: University of Kansas (Table 3's largest row), fully built",
+        "",
+        f"nodes installed:      {len(hosts)}",
+        f"total cores:          {machine.total_cores}",
+        f"Rpeak:                {machine.rpeak_gflops / 1000:.2f} TF",
+        f"switches (leaf/spine): {switch_count}",
+        f"worst-case hops:      {worst}",
+        f"uniform packages:     {report.uniform_package_count}",
+        f"DHCP leases:          {len(cluster.network.dhcp.leases())}",
+    ]
+    save_artifact("scale_kansas", "\n".join(lines))
+
+    assert len(hosts) == 220
+    assert machine.total_cores == 1760
+    assert machine.rpeak_gflops == pytest.approx(26_000.0)
+    assert switch_count > 3  # the leaf/spine actually engaged
+    assert worst == 3        # leaf -> spine -> leaf
+    assert report.uniform_package_count > 120
+    assert len(cluster.network.dhcp.leases()) == 219
+    # every node state is installed and the DB agrees with the host list
+    from repro.rocks import InstallState
+
+    assert all(
+        r.state is InstallState.INSTALLED for r in cluster.rocksdb.hosts()
+    )

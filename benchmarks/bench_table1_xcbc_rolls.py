@@ -1,0 +1,65 @@
+"""Table 1 — Components of the current XCBC build, part 1.
+
+Regenerates the general-cluster-setup table (basics, job management, the
+optional Rocks rolls) from the roll catalogue, then verifies every row the
+paper prints is present.  The benchmark times a full roll-catalogue
+construction plus graph attachment — the work `rocks create distro` does.
+"""
+
+from repro.rocks import (
+    TABLE1_BASICS,
+    TABLE1_OPTIONAL_ROLLS,
+    GraphNode,
+    KickstartGraph,
+    Profile,
+    all_standard_rolls,
+)
+
+
+def regenerate_table1() -> str:
+    rolls = all_standard_rolls()
+    lines = ["Table 1. Components of current XCBC build Part 1", ""]
+    lines.append(f"{'Category':<16} Specific packages")
+    basics = ", ".join(
+        ["Rocks 6.1.1", "Centos 6.5"]
+        + [b for b in TABLE1_BASICS if b != "rocks"]
+    )
+    lines.append(f"{'Basics':<16} {basics}")
+    lines.append(f"{'Job Management':<16} Torque, SLURM, sge (choose one)")
+    lines.append("")
+    lines.append("Rocks optional rolls")
+    for name, description in TABLE1_OPTIONAL_ROLLS.items():
+        roll = rolls[name]
+        packages = ", ".join(roll.package_names())
+        lines.append(f"{name:<16} {description}")
+        lines.append(f"{'':<16}   carries: {packages}")
+    return "\n".join(lines)
+
+
+def build_and_graph():
+    """The timed unit: build every roll and attach it to a kickstart graph."""
+    rolls = all_standard_rolls()
+    graph = KickstartGraph()
+    graph.add_node(GraphNode(Profile.FRONTEND))
+    graph.add_node(GraphNode(Profile.COMPUTE))
+    for name, roll in rolls.items():
+        if name in ("slurm", "sge"):
+            continue  # "choose one": torque is the default choice
+        roll.apply_to_graph(graph)
+    return graph
+
+
+def test_table1_regeneration(benchmark, save_artifact):
+    graph = benchmark(build_and_graph)
+    table = regenerate_table1()
+    save_artifact("table1_xcbc_rolls", table)
+
+    # every paper row exists
+    for roll_name in TABLE1_OPTIONAL_ROLLS:
+        assert roll_name in table
+    for basic in ("modules", "apache-ant", "fdepend", "gmake", "gnu-make", "scons"):
+        assert basic in table
+    assert "Torque, SLURM, sge (choose one)" in table
+    # and the graph actually delivers the packages to both appliances
+    assert "rocks" in graph.resolve_packages(Profile.COMPUTE)
+    assert {"base", "torque"} <= graph.rolls_in(Profile.FRONTEND)

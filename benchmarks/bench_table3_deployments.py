@@ -1,0 +1,54 @@
+"""Table 3 — Deployed XCBC clusters with Campus Bridging involvement.
+
+Rebuilds every site's hardware in simulation (calibrated CPUs/GPUs per
+DESIGN.md's substitution policy), regenerates the table with published vs
+rebuilt Rpeak side by side, and checks the totals row (304 / 2708 / 49.61).
+The timed unit rebuilds all six sites' hardware.
+"""
+
+import pytest
+
+from repro.core import TABLE3_SITES, rebuild_site_hardware, table3_totals
+
+
+def rebuild_all():
+    return {site.site: rebuild_site_hardware(site) for site in TABLE3_SITES}
+
+
+def regenerate_table3(machines) -> str:
+    lines = [
+        "Table 3. Deployed XCBC Clusters (published vs rebuilt)",
+        "",
+        f"{'Site':<44}{'Nodes':>6}{'Cores':>7}{'Rpeak(TF)':>11}"
+        f"{'Rebuilt(TF)':>13}  Adoption / other info",
+    ]
+    for site in TABLE3_SITES:
+        machine = machines[site.site]
+        lines.append(
+            f"{site.site[:42]:<44}{site.nodes:>6}{site.cores:>7}"
+            f"{site.rpeak_tflops:>11.2f}{machine.rpeak_gflops / 1000:>13.2f}"
+            f"  {site.adoption.value}; {site.other_info}"
+        )
+    nodes, cores, tf = table3_totals()
+    rebuilt_tf = sum(m.rpeak_gflops for m in machines.values()) / 1000
+    lines.append(
+        f"{'Total':<44}{nodes:>6}{cores:>7}{tf:>11.2f}{rebuilt_tf:>13.2f}"
+    )
+    return "\n".join(lines)
+
+
+def test_table3_regeneration(benchmark, save_artifact):
+    machines = benchmark(rebuild_all)
+    table = regenerate_table3(machines)
+    save_artifact("table3_deployments", table)
+
+    assert table3_totals() == (304, 2708, 49.61)
+    for site in TABLE3_SITES:
+        machine = machines[site.site]
+        assert machine.node_count == site.nodes
+        assert machine.total_cores == site.cores
+        assert machine.rpeak_gflops == pytest.approx(
+            site.rpeak_gflops, rel=0.01
+        )
+    rebuilt_total = sum(m.rpeak_gflops for m in machines.values()) / 1000
+    assert rebuilt_total == pytest.approx(49.61, rel=0.01)

@@ -1,0 +1,44 @@
+"""Table 4 — Basic characteristics of the Limulus HPC200 and LittleFe.
+
+Assembles both machines from the parts catalogue (the timed unit covers
+full constraint validation: sockets, coolers, PSUs, chassis) and regenerates
+the nodes/clock/CPUs/cores table.
+"""
+
+import pytest
+
+from repro.hardware import build_limulus_hpc200, build_littlefe_modified
+
+
+def build_both():
+    return build_littlefe_modified(), build_limulus_hpc200()
+
+
+def regenerate_table4(littlefe, limulus) -> str:
+    lines = [
+        "Table 4. Basic characteristics of a Limulus HPC200 cluster and a "
+        "LittleFe cluster",
+        "",
+        f"{'Cluster':<16}{'Nodes':>6}{'CPU clock':>11}{'CPUs':>6}{'Cores':>7}",
+    ]
+    for name, machine in (("LittleFe", littlefe.machine),
+                          ("Limulus HPC200", limulus.machine)):
+        lines.append(
+            f"{name:<16}{machine.node_count:>6}"
+            f"{machine.clock_ghz:>8.1f} GHz{machine.cpu_count:>6}"
+            f"{machine.total_cores:>7}"
+        )
+    return "\n".join(lines)
+
+
+def test_table4_regeneration(benchmark, save_artifact):
+    littlefe, limulus = benchmark(build_both)
+    table = regenerate_table4(littlefe, limulus)
+    save_artifact("table4_cluster_specs", table)
+
+    # the published rows, exactly
+    lf, lm = littlefe.machine, limulus.machine
+    assert (lf.node_count, lf.cpu_count, lf.total_cores) == (6, 6, 12)
+    assert lf.clock_ghz == pytest.approx(2.8)
+    assert (lm.node_count, lm.cpu_count, lm.total_cores) == (4, 4, 16)
+    assert lm.clock_ghz == pytest.approx(3.1)

@@ -1,0 +1,87 @@
+"""Table 5 — Performance and price/performance for LittleFe and Limulus.
+
+The headline quantitative table.  Rpeak comes from the hardware model
+(exactly matching the paper: 537.6 / 793.6 GFLOPS), Rmax from the calibrated
+HPL model (Limulus within a few percent of the measured 498.3; LittleFe a
+genuine prediction beside the paper's 75 %-of-peak estimate, carrying the
+same asterisk), and the $/GFLOPS columns from the quoted system costs.
+The timed unit runs both machine models end to end.
+"""
+
+import pytest
+
+from repro.hardware import (
+    LIMULUS_QUOTED_PRICE_USD,
+    LITTLEFE_QUOTED_PRICE_USD,
+    build_limulus_hpc200,
+    build_littlefe_modified,
+)
+from repro.linpack import benchmark_machine, price_performance, render_table5_row
+
+#: Paper figures for the EXPERIMENTS.md comparison.
+PAPER_ROWS = {
+    "littlefe-iu": dict(rpeak=537.6, rmax=403.2, cost=3600, per_rpeak=7, per_rmax=9),
+    "limulus-hpc200": dict(rpeak=793.6, rmax=498.3, cost=5995, per_rpeak=8, per_rmax=12),
+}
+
+
+def model_both():
+    lf = build_littlefe_modified()
+    lm = build_limulus_hpc200()
+    # LittleFe row: the paper's own arithmetic ("Estimated at 75% of Rpeak",
+    # the hardware-failure footnote); our model's genuine prediction is
+    # reported beside it.
+    lf_report = benchmark_machine(lf.machine, estimate_fraction=0.75)
+    lf_model = benchmark_machine(lf.machine)
+    lm_report = benchmark_machine(lm.machine)
+    return (
+        (lf_report, price_performance(lf_report, LITTLEFE_QUOTED_PRICE_USD)),
+        (lm_report, price_performance(lm_report, LIMULUS_QUOTED_PRICE_USD)),
+        lf_model,
+    )
+
+
+def regenerate_table5(rows, lf_model) -> str:
+    lines = [
+        "Table 5. Performance and price/performance (paper-quoted costs;",
+        "* = estimated at 75% of Rpeak, as in the paper's LittleFe footnote)",
+        "",
+        f"{'System':<16} {'Rpeak':>7} {'Rmax':>8} {'Cost':<8} "
+        f"{'Rpeak $/GF':<12} {'Rmax $/GF':<10}",
+    ]
+    for report, pp in rows:
+        lines.append(render_table5_row(pp, estimated=report.estimated))
+    lines.append("")
+    lines.append(
+        f"(model's own LittleFe prediction: {lf_model.rmax_gflops:.1f} "
+        f"GFLOPS, {lf_model.efficiency:.1%} of peak — "
+        f"{lf_model.rmax_gflops / 403.2 - 1:+.1%} vs the paper's estimate)"
+    )
+    return "\n".join(lines)
+
+
+def test_table5_regeneration(benchmark, save_artifact):
+    *rows, lf_model = benchmark(model_both)
+    table = regenerate_table5(rows, lf_model)
+    save_artifact("table5_price_performance", table)
+
+    (lf_report, lf_pp), (lm_report, lm_pp) = rows
+    paper_lf = PAPER_ROWS["littlefe-iu"]
+    paper_lm = PAPER_ROWS["limulus-hpc200"]
+
+    # Rpeak: exact
+    assert lf_report.rpeak_gflops == pytest.approx(paper_lf["rpeak"])
+    assert lm_report.rpeak_gflops == pytest.approx(paper_lm["rpeak"])
+    # Rmax: measured row (model) within 5 %; the estimated row replicates
+    # the paper's 75 % arithmetic exactly, and the model's own prediction
+    # lands within 10 % of that estimate
+    assert lm_report.rmax_gflops == pytest.approx(paper_lm["rmax"], rel=0.05)
+    assert lf_report.rmax_gflops == pytest.approx(paper_lf["rmax"], abs=0.1)
+    assert lf_model.rmax_gflops == pytest.approx(paper_lf["rmax"], rel=0.10)
+    # $/GFLOPS columns round to the paper's printed integers
+    assert round(lf_pp.usd_per_rpeak_gflops) == paper_lf["per_rpeak"]
+    assert round(lf_pp.usd_per_rmax_gflops) == paper_lf["per_rmax"]
+    assert round(lm_pp.usd_per_rpeak_gflops) == paper_lm["per_rpeak"]
+    assert round(lm_pp.usd_per_rmax_gflops) == paper_lm["per_rmax"]
+    # who-wins shape: LittleFe cheaper per GFLOPS on both axes
+    assert lf_pp.usd_per_rmax_gflops < lm_pp.usd_per_rmax_gflops

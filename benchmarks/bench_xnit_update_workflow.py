@@ -1,0 +1,59 @@
+"""Section 3 workflow — XNIT setup and the update cycle.
+
+Times the complete administrator workflow on a delivered Limulus: enable the
+repository, integrate the full toolkit, then consume an upstream release
+(0.0.8 -> 0.0.9) through check-update / staged apply.  Asserts the
+workflow-level properties: non-destructive integration, updates visible
+before application, and a fully converged environment at the end.
+"""
+
+from repro.core import (
+    audit_host,
+    build_limulus_cluster,
+    build_xnit_repository,
+    integrate_host,
+    publish_release,
+    setup_via_manual_repo_file,
+    setup_via_repo_rpm,
+)
+
+
+def full_workflow():
+    cluster = build_limulus_cluster()
+    repo = build_xnit_repository("0.0.8")
+    clients = cluster.all_clients()
+    # setup: repo RPM on the frontend, manual path on the blades
+    setup_via_repo_rpm(clients[0], repo)
+    for client in clients[1:]:
+        setup_via_manual_repo_file(client, repo)
+    reports = [integrate_host(c, full_toolkit=True) for c in clients]
+    # upstream publishes the 0.0.9 release
+    publish_release(repo, "0.0.9")
+    pending = clients[0].check_update()
+    for client in clients:
+        client.update()
+        integrate_host(client, full_toolkit=True)  # pick up the 41 additions
+    return cluster, clients, reports, pending
+
+
+def test_xnit_update_workflow(benchmark, save_artifact):
+    cluster, clients, reports, pending = benchmark(full_workflow)
+
+    assert all(r.preexisting_untouched for r in reports)
+    # the 0.0.9 Java bump was visible before being applied
+    assert any(u.name == "java-1.7.0-openjdk" for u in pending)
+    # everyone converged on the 0.0.9 catalogue
+    audits = [
+        audit_host(host, cluster.client_for(host).db)
+        for host in cluster.hosts()
+    ]
+    assert all(abs(a.overall - 1.0) < 1e-9 for a in audits)
+    # vendor stack intact on every node
+    assert all(c.db.has("limulus-manage") for c in clients)
+
+    lines = ["XNIT update workflow (Section 3) — final state", ""]
+    for audit in audits:
+        lines.append(audit.render())
+        lines.append("")
+    lines.append(f"updates visible at check-update: {len(pending)}")
+    save_artifact("workflow_xnit_update", "\n".join(lines))

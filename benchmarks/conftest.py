@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates a paper table/figure (or runs a workflow/ablation),
+times it with pytest-benchmark, and writes the regenerated artefact to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference stable
+outputs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_artifact():
+    """Write a regenerated table/figure to benchmarks/results/."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        return path
+
+    return _save

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Campus bridging: a researcher moves between two clusters built two ways.
+
+The paper's motivation (Section 1): "A user's knowledge of software, system
+commands, etc., becomes portable from one cluster built with XCBC to
+another."  We build one cluster each way — a campus LittleFe via XCBC and a
+Limulus via XNIT — then move a bioinformatics researcher's whole workflow
+between them: commands, environment modules, and the batch script.
+"""
+
+from repro.core import (
+    build_limulus_cluster,
+    build_xcbc_cluster,
+    build_xnit_repository,
+    diff_environments,
+    integrate_host,
+    portability_check,
+    setup_via_repo_rpm,
+)
+from repro.distro import ModuleSession
+from repro.hardware import build_littlefe_modified
+from repro.scheduler import ClusterResources, Job, MauiScheduler
+
+#: the researcher's muscle memory: a Trinity RNA-seq pipeline
+WORKFLOW_COMMANDS = [
+    "qsub", "qstat", "qdel",       # batch system
+    "module",                       # environment modules
+    "Trinity", "bowtie", "samtools",  # the pipeline
+    "blastn", "R",                  # downstream analysis
+]
+
+WORKFLOW_MODULES = ["python/2.7.9", "R/3.1.2", "blast/2.2.29"]
+
+
+def main() -> None:
+    print("=== Cluster A: campus LittleFe, built from scratch with XCBC ===")
+    cluster_a = build_xcbc_cluster(build_littlefe_modified("campus-lf").machine).cluster
+    print(f"{cluster_a.frontend.name}: "
+          f"{len(cluster_a.frontend_db)} packages installed\n")
+
+    print("=== Cluster B: departmental Limulus, retrofitted with XNIT ===")
+    limulus = build_limulus_cluster("dept-limulus")
+    repo = build_xnit_repository()
+    for host in limulus.hosts():
+        client = limulus.client_for(host)
+        setup_via_repo_rpm(client, repo)
+        integrate_host(client, full_toolkit=True)
+        # XNIT also carries the Table 1 basics; environment modules are the
+        # portability workhorse, so pull them onto the retrofit side too
+        client.install("modules")
+    client_b = limulus.client_for(limulus.frontend)
+    print(f"{limulus.frontend.name}: {len(client_b.db)} packages installed\n")
+
+    print("=== Does the researcher's workflow move unchanged? ===")
+    frac, broken = portability_check(
+        cluster_a.frontend, limulus.frontend, WORKFLOW_COMMANDS
+    )
+    print(f"Command portability: {frac:.0%}"
+          + (f" (broken: {broken})" if broken else " — every command resolves"))
+
+    for host, label in ((cluster_a.frontend, "XCBC"), (limulus.frontend, "XNIT")):
+        session = ModuleSession(host.modules)
+        for module in WORKFLOW_MODULES:
+            session.load(module)
+        print(f"{label} cluster: module loads OK -> {session.loaded()}")
+
+    print("\n=== Environment diff between the two frontends ===")
+    diff = diff_environments(cluster_a.frontend_db, client_b.db)
+    print(f"Version mismatches on shared packages: "
+          f"{len(diff.version_mismatches)} (converged={diff.converged})")
+    print(f"Only on XCBC side (Rocks tooling): {diff.only_on_a[:6]} ...")
+    print(f"Only on XNIT side (vendor stack):  {diff.only_on_b}")
+
+    print("\n=== The same batch job runs on both machines ===")
+    for quote_machine, label in (
+        (cluster_a.machine, "campus LittleFe"),
+        (limulus.machine, "dept Limulus"),
+    ):
+        scheduler = MauiScheduler(ClusterResources(quote_machine))
+        job = scheduler.submit(
+            Job("trinity-assembly", "researcher", cores=4,
+                walltime_limit_s=7200, runtime_s=3600)
+        )
+        scheduler.run_to_completion()
+        print(f"  {label}: {job.name} -> {job.state.value} on {job.allocation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""A sysadmin-training shell session on a freshly built XCBC cluster.
+
+Everything a Section 6 class types in its first lab, executed against the
+simulation through :class:`repro.cli.ClusterShell`: inspect the cluster,
+query packages, load modules, submit work, watch the queue and the
+monitoring dashboard, hop to a compute node, and pull one extra tool from
+XNIT.
+"""
+
+from repro.cli import ClusterShell
+from repro.core import build_xcbc_cluster, build_xnit_repository, xnit_group_catalog
+from repro.hardware import build_littlefe_modified
+from repro.htc import pool_from_cluster
+from repro.monitoring import monitor_cluster
+from repro.scheduler import ClusterResources, MauiScheduler
+
+SESSION = [
+    "hostname",
+    "cat /etc/redhat-release",
+    "rocks list host",
+    "rocks list roll",
+    "rpm -q gromacs",
+    "which mdrun",
+    "module avail",
+    "module load openmpi/1.6.4",
+    "module load gromacs/4.6.5",
+    "module list",
+    "qsub -N md-equilibrate -u student -c 4 -t 300 -w 3600",
+    "qstat",
+    "showq",
+    "pbsnodes",
+    "ganglia",
+    "yum repolist",
+    "yum groupinfo xnit-molecular-dynamics",
+    "yum install tau",
+    "which tau_exec",
+    "ssh compute-0-0",
+    "hostname",
+    "which mdrun",
+    "ssh littlefe-iu-n0",
+    "useradd student2",
+]
+
+
+def main() -> None:
+    cluster = build_xcbc_cluster(build_littlefe_modified().machine).cluster
+    scheduler = MauiScheduler(ClusterResources(cluster.machine))
+    gmetad = monitor_cluster(cluster, scheduler=scheduler)
+    gmetad.poll_cycle()
+    shell = ClusterShell(
+        cluster,
+        scheduler=scheduler,
+        repositories={"xsede": build_xnit_repository()},
+        group_catalog=xnit_group_catalog(),
+        condor_pool=pool_from_cluster(cluster),
+        gmetad=gmetad,
+    )
+    for command in SESSION:
+        result = shell.run(command)
+        print(f"[{shell.current.name}]$ {command}")
+        for line in result.output.splitlines() or ["(no output)"]:
+            print(f"    {line}")
+        print()
+    failures = [r for r in shell.history if not r.ok]
+    print(f"--- session complete: {len(shell.history)} commands, "
+          f"{len(failures)} failures ---")
+
+
+if __name__ == "__main__":
+    main()

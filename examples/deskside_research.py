@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Section 7: LittleFe and Limulus as personal research machines.
+
+"Given the CPU modifications of LittleFe presented in this paper, it's
+worth considering either system as a potential research computing resource
+for an individual researcher."  This example runs the comparison a
+prospective buyer would want:
+
+1. Table 4/5 figures side by side (specs, modelled HPL, price/performance);
+2. a month of one researcher's bursty workload through each machine's
+   scheduler (the Limulus with its power management on);
+3. a high-throughput parameter sweep through a Condor pool on the LittleFe;
+4. the ownership-vs-cloud arithmetic for the same month.
+"""
+
+from repro.core import compare, crossover_utilisation
+from repro.hardware import build_limulus_hpc200, build_littlefe_modified
+from repro.linpack import benchmark_machine, price_performance
+from repro.scheduler import ClusterResources, Job, MauiScheduler, PowerManagedScheduler
+
+
+def research_month(scheduler, cores_per_job):
+    """Twelve bursts over a month: the personal-cluster duty cycle."""
+    for burst in range(12):
+        scheduler.now_s = burst * 2.5 * 24 * 3600.0
+        for i in range(3):
+            scheduler.submit(
+                Job(f"b{burst}-j{i}", "scientist", cores=cores_per_job,
+                    walltime_limit_s=4 * 3600, runtime_s=2 * 3600)
+            )
+        scheduler.run_to_completion()
+    return scheduler
+
+
+def main() -> None:
+    lf = build_littlefe_modified()
+    lm = build_limulus_hpc200()
+
+    print("=== The two deskside candidates ===")
+    header = f"{'':<26}{'LittleFe':>14}{'Limulus HPC200':>16}"
+    print(header)
+    rows = [
+        ("nodes / cores", f"{lf.machine.node_count}/{lf.machine.total_cores}",
+         f"{lm.machine.node_count}/{lm.machine.total_cores}"),
+        ("Rpeak (GFLOPS)", f"{lf.machine.rpeak_gflops:.1f}",
+         f"{lm.machine.rpeak_gflops:.1f}"),
+        ("quoted price", f"${lf.quoted_usd:,.0f}", f"${lm.quoted_usd:,.0f}"),
+        ("weight (lb)", f"{lf.machine.weight_lb:.0f}", f"{lm.machine.weight_lb:.0f}"),
+    ]
+    for label, a, b in rows:
+        print(f"{label:<26}{a:>14}{b:>16}")
+
+    print("\n=== Modelled HPL (Table 5) ===")
+    for quote, kwargs in ((lf, dict(estimate_fraction=0.75)), (lm, {})):
+        report = benchmark_machine(quote.machine, **kwargs)
+        pp = price_performance(report, quote.quoted_usd)
+        star = "*" if report.estimated else " "
+        print(f"{report.machine_name:<16} Rmax {report.rmax_gflops:7.1f}{star} "
+              f"(${pp.usd_per_rmax_gflops:.0f}/GFLOPS)")
+
+    print("\n=== A month of bursty research work ===")
+    lf_sched = research_month(MauiScheduler(ClusterResources(lf.machine)), 4)
+    lm_sched = research_month(
+        PowerManagedScheduler(lm.machine, manage_power=True), 6
+    )
+    lf_done = len(lf_sched.finished)
+    lm_done = len(lm_sched.finished)
+    print(f"LittleFe: {lf_done} jobs completed (always-on)")
+    print(f"Limulus:  {lm_done} jobs completed; power management used "
+          f"{lm_sched.energy.total_kwh:.1f} kWh with "
+          f"{lm_sched.energy.off_node_seconds / 3600:.0f} node-hours powered off")
+
+    print("\n=== High-throughput sweeps (Condor on the LittleFe) ===")
+    from repro.core import build_xcbc_cluster
+    from repro.htc import ClassAd, HtcJob, pool_from_cluster
+    from repro.rocks import optional_rolls
+
+    cluster = build_xcbc_cluster(
+        build_littlefe_modified("lf-htc").machine,
+        extra_rolls=None,
+    ).cluster
+    # the XCBC default includes the htcondor roll
+    pool = pool_from_cluster(cluster)
+    for i in range(100):
+        pool.submit(HtcJob(ad=ClassAd(f"param-{i}"), owner="scientist",
+                           runtime_cycles=1))
+    cycles = pool.run_until_drained()
+    print(f"100-point parameter study drained in {cycles} negotiation cycles "
+          f"on {pool.slot_count()} slots")
+
+    print("\n=== Own or rent? ===")
+    for quote, label in ((lf, "LittleFe"), (lm, "Limulus")):
+        crossover = crossover_utilisation(quote.machine, quote.quoted_usd)
+        month = compare(quote.machine, quote.quoted_usd, utilisation=0.30)
+        winner = "own" if month.cluster_wins else "rent"
+        print(f"{label}: crossover at {crossover:.0%} utilisation; at a "
+              f"researcher's ~30% duty cycle: {winner} "
+              f"(${month.cluster_usd:,.0f} vs cloud ${month.cloud_usd:,.0f} "
+              f"over 4 years)")
+
+
+if __name__ == "__main__":
+    main()

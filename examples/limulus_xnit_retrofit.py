@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The Sections 3 + 5.2 walkthrough: retrofitting a Limulus HPC200 with XNIT.
+
+The Limulus arrives as a commercial product — Scientific Linux, vendor
+management stack, diskless compute blades (so the Rocks/XCBC path is out).
+XNIT turns it into an XSEDE-compatible machine without disturbing anything:
+
+1. enable the repository (both Section 3 setup paths shown);
+2. check the compatibility score before;
+3. integrate the full toolkit on every node, non-destructively;
+4. score again; render the internals (the Figure 3 substitute);
+5. run one update cycle when upstream publishes a new release, the prudent
+   way (notify -> stage on a test node -> promote).
+"""
+
+from repro.core import (
+    audit_host,
+    build_limulus_cluster,
+    build_xnit_repository,
+    integrate_host,
+    publish_release,
+    setup_via_manual_repo_file,
+    setup_via_repo_rpm,
+)
+from repro.hardware import render_limulus
+from repro.yum import StagedRollout
+
+
+def main() -> None:
+    print("=== The machine as delivered ===")
+    cluster = build_limulus_cluster()
+    print(render_limulus(cluster.machine))
+    fe_client = cluster.client_for(cluster.frontend)
+    before = audit_host(cluster.frontend, fe_client.db)
+    print(f"\nXSEDE compatibility as shipped: {before.overall:.1%}")
+    print(f"Vendor stack: {', '.join(cluster.vendor_stack)}\n")
+
+    print("=== Enabling the XSEDE Yum repository (0.0.8 snapshot) ===")
+    repo = build_xnit_repository("0.0.8")
+    # Path one on the frontend: the xsede-release RPM drops the .repo file.
+    setup_via_repo_rpm(fe_client, repo)
+    print("frontend: installed xsede-release RPM -> /etc/yum.repos.d/xsede.repo")
+    # Path two on the blades: priorities plugin + hand-written stanza.
+    for host in cluster.hosts()[1:]:
+        setup_via_manual_repo_file(cluster.client_for(host), repo)
+    print("blades: yum-plugin-priorities + manual xsede.repo\n")
+
+    print("=== Integrating the full toolkit ===")
+    for host in cluster.hosts():
+        client = cluster.client_for(host)
+        report = integrate_host(client, full_toolkit=True)
+        print(f"  {host.name}: +{len(report.installed)} packages, "
+              f"non-destructive={report.preexisting_untouched}")
+    after = audit_host(cluster.frontend, fe_client.db)
+    print(f"\nCompatibility after integration: {after.overall:.1%} "
+          f"(was {before.overall:.1%})")
+    print(f"Vendor power management still running: "
+          f"{cluster.frontend.services.is_running('limulus-powerd')}\n")
+
+    print("=== Upstream publishes 0.0.9 (TrinityRNASeq, R, Java updates) ===")
+    added = publish_release(repo, "0.0.9")
+    print(f"{len(added)} new NEVRAs in the repository")
+    blades = cluster.hosts()[1:]
+    rollout = StagedRollout(
+        test_client=cluster.client_for(blades[0]),
+        production_clients=[cluster.client_for(h) for h in blades[1:]]
+        + [fe_client],
+    )
+    outcome = rollout.run_cycle()
+    staged = outcome["staged"]
+    print(f"Staged on {blades[0].name}: {staged.summary()}")
+    print(f"Promoted to production: {outcome['promoted']}")
+
+    # `yum update` only upgrades what is installed; the 41 *new* 0.0.9
+    # packages (TrinityRNASeq, the R stack, ...) arrive by re-running the
+    # toolkit integration — still non-destructive.
+    for host in cluster.hosts():
+        integrate_host(cluster.client_for(host), full_toolkit=True)
+    final = audit_host(cluster.frontend, fe_client.db)
+    print(f"\nFinal compatibility (0.0.9 catalogue): {final.overall:.1%}")
+    print(f"R available on the frontend: {cluster.frontend.has_command('R')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: build a LittleFe, install XCBC from scratch, audit it, run a job.
+
+This is the 60-second tour of the library: hardware -> provisioning ->
+compatibility -> batch work -> Linpack.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import audit_host, build_xcbc_cluster
+from repro.hardware import build_littlefe_modified
+from repro.linpack import benchmark_machine, run_hpl_small
+from repro.scheduler import ClusterResources, Job, MauiScheduler
+
+
+def main() -> None:
+    # 1. Hardware: the Section 5.1 modified LittleFe (validated assembly).
+    quote = build_littlefe_modified()
+    machine = quote.machine
+    print(f"Built {machine.name}: {machine.node_count} nodes / "
+          f"{machine.total_cores} cores / {machine.rpeak_gflops:.1f} GFLOPS "
+          f"peak, BOM ${quote.bom_usd:,.0f}")
+
+    # 2. Software: the all-at-once XCBC install (Rocks + XSEDE roll).
+    report = build_xcbc_cluster(machine)
+    cluster = report.cluster
+    print(f"Installed XCBC {report.roll_version} with rolls: "
+          f"{', '.join(cluster.roll_names())}")
+
+    # 3. Audit: how XSEDE-compatible is the result?
+    print()
+    print(audit_host(cluster.frontend, cluster.frontend_db).render())
+
+    # 4. Batch work through Torque/Maui.
+    scheduler = MauiScheduler(ClusterResources(machine))
+    job = scheduler.submit(
+        Job("hello-mpi", "you", cores=4, walltime_limit_s=600, runtime_s=42)
+    )
+    stats = scheduler.run_to_completion()
+    print(f"\nJob {job.name!r} completed in {job.charged_runtime_s:.0f}s "
+          f"on {job.allocation}")
+    print(f"Cluster utilisation for this trace: "
+          f"{stats.utilization(scheduler.resources.total_cores):.0%}")
+
+    # 5. Linpack: a real kernel run here, plus the modelled cluster figure.
+    real = run_hpl_small(256)
+    hpl = benchmark_machine(machine, estimated=True)
+    print(f"\nReal LU solve (n=256) on this machine: {real.gflops:.2f} GFLOPS, "
+          f"residual {real.residual:.3f} -> "
+          f"{'PASSED' if real.passed else 'FAILED'}")
+    print(f"Modelled cluster HPL: N={hpl.n}, Rmax {hpl.rmax_gflops:.1f} of "
+          f"{hpl.rpeak_gflops:.1f} GFLOPS ({hpl.efficiency:.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The capstone: rebuild the entire Table 3 fleet, each site its own way.
+
+Every deployed cluster the paper reports is rebuilt end to end — hardware
+from the (calibrated) parts, then software through the site's *actual*
+adoption path from Section 4:
+
+* XCBC sites (Kansas, Marshall, IU LittleFe) get the full Rocks
+  from-scratch install;
+* XNIT sites (Montana State, Hawaii, IU Limulus) are stood up under their
+  own management and integrated from the repository;
+* Montana also gets its 300 TB Lustre and Hawaii its 40+60 TB systems.
+
+The fleet is then audited host by host and the Table 3 totals re-derived
+from the living clusters.  This run builds ~300 hosts; expect ~20 seconds.
+"""
+
+from repro.core import (
+    AdoptionPath,
+    TABLE3_SITES,
+    audit_cluster,
+    build_existing_cluster,
+    build_xcbc_cluster,
+    build_xnit_repository,
+    capacity_goal_projection,
+    integrate_host,
+    rebuild_site_hardware,
+    setup_via_repo_rpm,
+)
+from repro.pfs import hawaii_storage, montana_hyalite_storage
+
+
+def rebuild_site(site, repo):
+    """One site, through its adoption path; returns (cluster, mean audit)."""
+    machine = rebuild_site_hardware(site)
+    if site.adoption is AdoptionPath.XCBC:
+        cluster = build_xcbc_cluster(machine, include_optional_rolls=False).cluster
+    else:
+        cluster = build_existing_cluster(machine)
+        for host in cluster.hosts():
+            client = cluster.client_for(host)
+            setup_via_repo_rpm(client, repo)
+            integrate_host(client, full_toolkit=True)
+    reports = audit_cluster(cluster)
+    mean_audit = sum(r.overall for r in reports.values()) / len(reports)
+    return cluster, mean_audit
+
+
+def main() -> None:
+    repo = build_xnit_repository()
+    print(f"{'Site':<44}{'Nodes':>6}{'Cores':>7}{'TF':>7}"
+          f"{'Path':>6}{'Audit':>8}")
+    total_nodes = total_cores = 0
+    total_gflops = 0.0
+    for site in TABLE3_SITES:
+        cluster, audit = rebuild_site(site, repo)
+        machine = cluster.machine
+        path = "XCBC" if site.adoption is AdoptionPath.XCBC else "XNIT"
+        print(f"{site.site[:42]:<44}{machine.node_count:>6}"
+              f"{machine.total_cores:>7}{machine.rpeak_gflops / 1000:>7.2f}"
+              f"{path:>6}{audit:>7.0%}")
+        total_nodes += machine.node_count
+        total_cores += machine.total_cores
+        total_gflops += machine.rpeak_gflops
+    print(f"{'Total':<44}{total_nodes:>6}{total_cores:>7}"
+          f"{total_gflops / 1000:>7.2f}")
+    print(f"(paper totals: 304 / 2708 / 49.61)")
+
+    print("\nSite storage (Table 3, other info):")
+    hyalite = montana_hyalite_storage()
+    persistent, scratch = hawaii_storage()
+    print(f"  Montana Hyalite Lustre: {hyalite.capacity_bytes / 1e12:.0f} TB "
+          f"over {len(hyalite.osts)} OSTs")
+    print(f"  Hawaii PBARC: {persistent.capacity_bytes / 1e12:.0f} TB storage"
+          f" + {scratch.capacity_bytes / 1e12:.0f} TB scratch")
+
+    factor, annual = capacity_goal_projection()
+    print(f"\nThe 2020 half-PetaFLOPS goal needs {factor:.1f}x growth "
+          f"(~{annual:.0%}/year) from here.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""A LittleFe/XCBC training workshop (Section 6), including the classic
+student mistake.
+
+Two cohorts run the curriculum module "Building and administering a
+Beowulf-style cluster with LittleFe and the XSEDE-compatible Basic Cluster
+build".  Cohort A follows the modified parts list; cohort B forgets the
+per-node drives and hits the Rocks-needs-disks wall — the teaching moment
+Section 5.1 documents.
+"""
+
+from repro.core import TrainingSession, littlefe_xcbc_module
+
+
+def main() -> None:
+    print("=== Cohort A: the modified parts list ===")
+    session_a = TrainingSession(littlefe_xcbc_module(), students=8)
+    session_a.run()
+    print(session_a.transcript())
+    print(f"Workshop outcome: {'all steps passed' if session_a.passed_all else 'failures'}\n")
+
+    print("=== Cohort B: forgot the mSATA drives ===")
+    session_b = TrainingSession(littlefe_xcbc_module(forget_disks=True), students=8)
+    session_b.run()
+    print(session_b.transcript())
+    failed = [o for o in session_b.outcomes if not o.passed]
+    print(f"\nTeaching moments: {len(failed)} step(s) failed — the install "
+          f"step fails exactly the way Section 5.1 explains (Rocks does not "
+          f"support diskless nodes), and the later steps inherit the hole.")
+
+
+if __name__ == "__main__":
+    main()

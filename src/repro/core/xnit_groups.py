@@ -1,0 +1,72 @@
+"""The XNIT group catalogue: "particular software capabilities" as units.
+
+One group per Table 2 category, plus the domain bundles Campus Champions
+actually ask for (bioinformatics pipeline, molecular dynamics, climate/data,
+R statistics).  Mandatory members are the capability's core; optional
+members the long tail.
+"""
+
+from __future__ import annotations
+
+from ..yum.groups import GroupCatalog, PackageGroup
+from .packages_xsede import packages_by_category
+
+__all__ = ["xnit_group_catalog", "DOMAIN_GROUPS"]
+
+#: Hand-curated domain bundles (group id -> (name, mandatory, optional)).
+DOMAIN_GROUPS: dict[str, tuple[str, tuple[str, ...], tuple[str, ...]]] = {
+    "xnit-bio-pipeline": (
+        "XNIT Bioinformatics Pipeline",
+        ("ncbi-blast", "bowtie", "bwa", "Samtools", "BEDTools", "hmmer"),
+        ("trinity", "gatk", "picard-tools", "sratoolkit", "mrbayes",
+         "mpiblast", "Abyss", "SHRiMP"),
+    ),
+    "xnit-molecular-dynamics": (
+        "XNIT Molecular Dynamics",
+        ("gromacs", "lammps", "openmpi", "fftw"),
+        ("charm", "espresso-ab", "meep", "autodocksuite"),
+    ),
+    "xnit-data-climate": (
+        "XNIT Climate and Data Tools",
+        ("netcdf", "nco", "hdf5"),
+        ("PnetCDF", "ncl", "gnuplot", "plplot"),
+    ),
+    "xnit-statistics": (
+        "XNIT R Statistics",
+        ("R", "R-core"),
+        ("R-devel", "R-java", "libRmath", "octave", "numpy"),
+    ),
+}
+
+
+def xnit_group_catalog() -> GroupCatalog:
+    """Build the full group catalogue: categories + domain bundles."""
+    catalog = GroupCatalog()
+    for category, packages in packages_by_category().items():
+        slug = (
+            "xnit-"
+            + category.lower()
+            .replace(",", "")
+            .replace(" and ", " ")
+            .replace(" ", "-")
+        )
+        names = tuple(p.name for p in packages)
+        catalog.add(
+            PackageGroup(
+                group_id=slug,
+                name=f"XNIT {category}",
+                description=f"The Table 2 category: {category}",
+                mandatory=names,
+            )
+        )
+    for group_id, (name, mandatory, optional) in DOMAIN_GROUPS.items():
+        catalog.add(
+            PackageGroup(
+                group_id=group_id,
+                name=name,
+                description="Community-requested capability bundle",
+                mandatory=mandatory,
+                optional=optional,
+            )
+        )
+    return catalog

@@ -1,0 +1,207 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can catch
+all simulation failures with one handler while still being able to distinguish
+hardware-assembly problems from package-dependency problems, etc.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "HardwareError",
+    "AssemblyError",
+    "PowerBudgetError",
+    "ClearanceError",
+    "CatalogError",
+    "DistroError",
+    "FilesystemError",
+    "ServiceError",
+    "UserError",
+    "ModuleEnvError",
+    "CommandError",
+    "RpmError",
+    "PackageNotFoundError",
+    "DependencyError",
+    "ConflictError",
+    "TransactionError",
+    "YumError",
+    "RepoConfigError",
+    "RepoPriorityError",
+    "RocksError",
+    "RollError",
+    "KickstartError",
+    "ProvisionError",
+    "NetworkError",
+    "DhcpError",
+    "PxeError",
+    "MpiError",
+    "SchedulerError",
+    "JobError",
+    "LinpackError",
+    "CompatibilityError",
+    "DeploymentError",
+    "TrainingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+# --- hardware -------------------------------------------------------------
+
+
+class HardwareError(ReproError):
+    """Base class for hardware-simulation errors."""
+
+
+class AssemblyError(HardwareError):
+    """A node or chassis build violates a physical constraint."""
+
+
+class PowerBudgetError(AssemblyError):
+    """Component power draw exceeds the supply rating."""
+
+
+class ClearanceError(AssemblyError):
+    """A component does not physically fit in its allotted space."""
+
+
+class CatalogError(HardwareError):
+    """An unknown part was requested from the parts catalogue."""
+
+
+# --- distro ----------------------------------------------------------------
+
+
+class DistroError(ReproError):
+    """Base class for simulated-OS errors."""
+
+
+class FilesystemError(DistroError):
+    """Invalid filesystem operation (missing path, not a directory, ...)."""
+
+
+class ServiceError(DistroError):
+    """Invalid service-manager operation."""
+
+
+class UserError(DistroError):
+    """Invalid user-database operation."""
+
+
+class ModuleEnvError(DistroError):
+    """Invalid environment-modules operation."""
+
+
+class CommandError(DistroError):
+    """A simulated shell command failed or was not found."""
+
+
+# --- rpm / yum ---------------------------------------------------------------
+
+
+class RpmError(ReproError):
+    """Base class for RPM-engine errors."""
+
+
+class PackageNotFoundError(RpmError):
+    """No package with the requested name/capability exists."""
+
+
+class DependencyError(RpmError):
+    """A requirement could not be satisfied."""
+
+    def __init__(self, message: str, missing: tuple[str, ...] = ()):
+        super().__init__(message)
+        #: capabilities that could not be resolved
+        self.missing = missing
+
+
+class ConflictError(RpmError):
+    """Two packages in a transaction conflict."""
+
+
+class TransactionError(RpmError):
+    """A transaction could not be committed; the DB is unchanged."""
+
+
+class YumError(RpmError):
+    """Base class for yum-layer errors."""
+
+
+class RepoConfigError(YumError):
+    """A .repo configuration file is malformed."""
+
+
+class RepoPriorityError(YumError):
+    """Invalid repository priority value."""
+
+
+# --- rocks ------------------------------------------------------------------
+
+
+class RocksError(ReproError):
+    """Base class for Rocks-provisioner errors."""
+
+
+class RollError(RocksError):
+    """Invalid roll definition or selection."""
+
+
+class KickstartError(RocksError):
+    """The kickstart graph is malformed (cycle, missing node, ...)."""
+
+
+class ProvisionError(RocksError):
+    """Node provisioning failed (no disk, PXE failure, ...)."""
+
+
+# --- network / mpi ------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for fabric errors."""
+
+
+class DhcpError(NetworkError):
+    """DHCP protocol failure (pool exhausted, unknown MAC, ...)."""
+
+
+class PxeError(NetworkError):
+    """PXE boot failure."""
+
+
+class MpiError(ReproError):
+    """Invalid simulated-MPI operation."""
+
+
+# --- scheduler ----------------------------------------------------------------
+
+
+class SchedulerError(ReproError):
+    """Base class for batch-scheduler errors."""
+
+
+class JobError(SchedulerError):
+    """Invalid job specification or state transition."""
+
+
+# --- linpack / core -------------------------------------------------------------
+
+
+class LinpackError(ReproError):
+    """Invalid HPL configuration."""
+
+
+class CompatibilityError(ReproError):
+    """A compatibility audit could not be performed."""
+
+
+class DeploymentError(ReproError):
+    """A site deployment specification is invalid."""
+
+
+class TrainingError(ReproError):
+    """Invalid curriculum/training session operation."""

@@ -1,0 +1,19 @@
+"""The grid layer (Table 2's XSEDE Tools): GridFTP-style verified striped
+transfers, the GFFS federated namespace, and the Stampede-mini reference
+cluster compatibility is defined against.
+"""
+
+from .gffs import GffsExport, GffsNamespace
+from .gridftp import GridEndpoint, GridError, TransferResult, WanLink, transfer
+from .reference import build_stampede_mini
+
+__all__ = [
+    "GridError",
+    "WanLink",
+    "GridEndpoint",
+    "TransferResult",
+    "transfer",
+    "GffsNamespace",
+    "GffsExport",
+    "build_stampede_mini",
+]

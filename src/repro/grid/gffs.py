@@ -1,0 +1,125 @@
+"""GFFS: the Genesis II Global Federated File System (Table 2, XSEDE Tools).
+
+GFFS presents one virtual namespace (``/resources/...``) whose subtrees are
+backed by directories on member clusters.  A researcher's campus data and
+their XSEDE allocation appear side by side; reads and writes route to the
+owning host.
+
+The model: a :class:`GffsNamespace` maps virtual prefixes to
+``(host, local path)`` exports.  Longest-prefix routing, like the real grid
+namespace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..distro.host import Host
+from .gridftp import GridError
+
+__all__ = ["GffsExport", "GffsNamespace"]
+
+
+@dataclass(frozen=True)
+class GffsExport:
+    """One grid-visible subtree."""
+
+    virtual_prefix: str   # e.g. /resources/xsede.org/campus-lf/home
+    host: Host
+    local_path: str
+
+    def __post_init__(self) -> None:
+        if not self.virtual_prefix.startswith("/"):
+            raise GridError(f"virtual prefix must be absolute: {self.virtual_prefix}")
+
+
+class GffsNamespace:
+    """The federated namespace."""
+
+    def __init__(self) -> None:
+        self._exports: dict[str, GffsExport] = {}
+
+    def link(self, virtual_prefix: str, host: Host, local_path: str) -> GffsExport:
+        """Export ``host:local_path`` at ``virtual_prefix``.
+
+        The host must run the GFFS tooling (``gffs-ls`` from the gffs
+        package) and the local path must exist.
+        """
+        prefix = virtual_prefix.rstrip("/")
+        if not host.has_command("gffs-ls"):
+            raise GridError(
+                f"{host.name}: gffs is not installed (XSEDE Tools category)"
+            )
+        if not host.fs.is_dir(local_path):
+            raise GridError(f"{host.name}: no such directory {local_path}")
+        if prefix in self._exports:
+            raise GridError(f"namespace already links {prefix}")
+        export = GffsExport(prefix, host, local_path.rstrip("/") or "/")
+        self._exports[prefix] = export
+        return export
+
+    def unlink(self, virtual_prefix: str) -> None:
+        prefix = virtual_prefix.rstrip("/")
+        if prefix not in self._exports:
+            raise GridError(f"namespace does not link {prefix}")
+        del self._exports[prefix]
+
+    def exports(self) -> list[GffsExport]:
+        return [self._exports[p] for p in sorted(self._exports)]
+
+    def _route(self, virtual_path: str) -> tuple[GffsExport, str]:
+        """Longest-prefix match to an export and its local path."""
+        if not virtual_path.startswith("/"):
+            raise GridError(f"grid paths are absolute: {virtual_path!r}")
+        candidates = [
+            prefix
+            for prefix in self._exports
+            if virtual_path == prefix or virtual_path.startswith(prefix + "/")
+        ]
+        if not candidates:
+            raise GridError(f"no grid resource backs {virtual_path}")
+        prefix = max(candidates, key=len)
+        export = self._exports[prefix]
+        suffix = virtual_path[len(prefix):]
+        return export, (export.local_path + suffix) or "/"
+
+    # -- the grid client verbs ---------------------------------------------------
+
+    def ls(self, virtual_path: str) -> list[str]:
+        """List a grid directory."""
+        if virtual_path.rstrip("/") == "" or any(
+            p.startswith(virtual_path.rstrip("/") + "/") for p in self._exports
+        ):
+            # listing above/at the export level shows linked names
+            base = virtual_path.rstrip("/")
+            names = set()
+            for prefix in self._exports:
+                if prefix.startswith(base + "/") or base == "":
+                    rest = prefix[len(base) + 1 :] if base else prefix[1:]
+                    names.add(rest.split("/", 1)[0])
+            if names:
+                return sorted(names)
+        export, local = self._route(virtual_path)
+        return export.host.fs.listdir(local)
+
+    def read(self, virtual_path: str) -> str:
+        export, local = self._route(virtual_path)
+        return export.host.fs.read(local)
+
+    def write(self, virtual_path: str, content: str) -> None:
+        export, local = self._route(virtual_path)
+        export.host.fs.write(local, content)
+
+    def exists(self, virtual_path: str) -> bool:
+        try:
+            export, local = self._route(virtual_path)
+        except GridError:
+            return False
+        return export.host.fs.exists(local)
+
+    def copy(self, src_virtual: str, dst_virtual: str) -> int:
+        """Grid-side copy between (possibly different) backing hosts;
+        returns bytes copied."""
+        content = self.read(src_virtual)
+        self.write(dst_virtual, content)
+        return len(content.encode())

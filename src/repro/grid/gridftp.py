@@ -1,0 +1,168 @@
+"""GridFTP-style data movement (the Globus Connect Server of Table 2).
+
+Campus bridging is half software-compatibility, half *data* mobility: the
+researcher's dataset has to follow them from the campus cluster to the
+XSEDE resource.  The model captures GridFTP's operationally relevant
+behaviour:
+
+* endpoints expose a host's filesystem behind an endpoint name;
+* transfers move files between endpoints over a WAN link with an alpha-beta
+  cost model, in ``parallelism`` striped streams (bandwidth aggregates up to
+  the link rate — why GridFTP beats scp on fat links);
+* every file is checksummed at both ends; corrupted stripes (injectable) are
+  retried up to a bound, then fail loudly;
+* directory transfers recurse and preserve layout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..distro.filesystem import FileKind
+from ..distro.host import Host
+from ..errors import ReproError
+
+__all__ = ["GridError", "WanLink", "GridEndpoint", "TransferResult", "transfer"]
+
+
+class GridError(ReproError):
+    """Grid-layer failure."""
+
+
+@dataclass(frozen=True)
+class WanLink:
+    """The wide-area path between two endpoints."""
+
+    bandwidth_bytes_s: float = 1.25e8     # a healthy campus 1 Gb/s WAN
+    latency_s: float = 0.030              # cross-country RTT/2
+    per_stream_cap_bytes_s: float = 3.0e7  # TCP single-stream ceiling
+
+    def transfer_time_s(self, nbytes: int, *, parallelism: int) -> float:
+        """Striped transfer time: streams aggregate up to the link rate."""
+        if nbytes < 0 or parallelism < 1:
+            raise GridError("invalid transfer parameters")
+        effective = min(
+            self.bandwidth_bytes_s, self.per_stream_cap_bytes_s * parallelism
+        )
+        return self.latency_s + nbytes / effective
+
+
+class GridEndpoint:
+    """A Globus endpoint fronting one host's filesystem."""
+
+    def __init__(self, name: str, host: Host, *, root: str = "/") -> None:
+        if not host.has_command("globus-connect-server-setup") and not host.has_command(
+            "globus-url-copy"
+        ):
+            raise GridError(
+                f"{host.name}: globus-connect-server is not installed "
+                f"(add it via the XSEDE roll or XNIT)"
+            )
+        self.name = name
+        self.host = host
+        self.root = root.rstrip("/") or "/"
+
+    def _abs(self, path: str) -> str:
+        if not path.startswith("/"):
+            raise GridError(f"endpoint paths are absolute: {path!r}")
+        return self.root + path if self.root != "/" else path
+
+    def exists(self, path: str) -> bool:
+        return self.host.fs.exists(self._abs(path))
+
+    def checksum(self, path: str) -> str:
+        """MD5-of-content, as globus-url-copy verifies."""
+        content = self.host.fs.read(self._abs(path))
+        return hashlib.md5(content.encode()).hexdigest()
+
+    def read(self, path: str) -> str:
+        return self.host.fs.read(self._abs(path))
+
+    def write(self, path: str, content: str) -> None:
+        self.host.fs.write(self._abs(path), content)
+
+    def size(self, path: str) -> int:
+        return len(self.read(path).encode())
+
+    def list_files(self, path: str) -> list[str]:
+        """Recursive relative file list under a directory."""
+        base = self._abs(path)
+        if not self.host.fs.is_dir(base):
+            raise GridError(f"{self.name}: not a directory: {path}")
+        out = []
+        prefix = base.rstrip("/") + "/"
+        for node in self.host.fs.walk():
+            if node.path.startswith(prefix) and node.kind is FileKind.FILE:
+                out.append(node.path[len(prefix):])
+        return sorted(out)
+
+
+@dataclass
+class TransferResult:
+    """Accounting for one transfer request."""
+
+    files: int = 0
+    bytes_moved: int = 0
+    elapsed_s: float = 0.0
+    retried_files: list[str] = field(default_factory=list)
+
+    @property
+    def effective_bandwidth_bytes_s(self) -> float:
+        return self.bytes_moved / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+def transfer(
+    src: GridEndpoint,
+    dst: GridEndpoint,
+    src_path: str,
+    dst_path: str,
+    *,
+    link: WanLink | None = None,
+    parallelism: int = 4,
+    corrupt_first_attempt: set[str] | None = None,
+    max_retries: int = 2,
+) -> TransferResult:
+    """Move a file or directory tree between endpoints with verification.
+
+    ``corrupt_first_attempt`` is failure injection: relative paths named
+    there arrive corrupted once and must be caught by the checksum and
+    retried.  Exceeding ``max_retries`` raises :class:`GridError`.
+    """
+    link = link or WanLink()
+    corrupt = set(corrupt_first_attempt or ())
+    result = TransferResult()
+
+    if src.host.fs.is_dir(src._abs(src_path)):
+        pairs = [
+            (f"{src_path.rstrip('/')}/{rel}", f"{dst_path.rstrip('/')}/{rel}", rel)
+            for rel in src.list_files(src_path)
+        ]
+        if not pairs:
+            raise GridError(f"{src.name}: directory {src_path} has no files")
+    else:
+        pairs = [(src_path, dst_path, src_path.rsplit("/", 1)[-1])]
+
+    for from_path, to_path, rel in pairs:
+        content = src.read(from_path)
+        want = src.checksum(from_path)
+        nbytes = len(content.encode())
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > max_retries + 1:
+                raise GridError(
+                    f"transfer of {rel} failed checksum after "
+                    f"{max_retries + 1} attempts"
+                )
+            result.elapsed_s += link.transfer_time_s(nbytes, parallelism=parallelism)
+            if rel in corrupt and attempts == 1:
+                dst.write(to_path, content + "\x00CORRUPT")
+            else:
+                dst.write(to_path, content)
+            if dst.checksum(to_path) == want:
+                break
+            result.retried_files.append(rel)
+        result.files += 1
+        result.bytes_moved += nbytes
+    return result

@@ -1,0 +1,67 @@
+"""GPU accelerator models.
+
+Only one Table 3 site needs these: Marshall University's cluster has "8 GPU
+Nodes, 3584 CUDA Cores".  The paper does not name the card; 3584/8 = 448
+CUDA cores per card matches the Fermi C2050/M2050 generation.  The published
+site Rpeak (6.0 TF for 264 CPU cores + 8 GPUs) implies ~380 GFLOPS per card
+counted toward Rpeak, so :func:`calibrated_gpu` lets the deployment registry
+solve for that figure — a documented substitution, same policy as
+:func:`repro.hardware.cpu.calibrated_cpu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CatalogError
+
+__all__ = ["GpuModel", "TESLA_C2050", "calibrated_gpu"]
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """A GPU accelerator SKU."""
+
+    model: str
+    cuda_cores: int
+    rpeak_gflops: float  # double-precision peak counted toward site Rpeak
+    tdp_watts: float
+    price_usd: float
+
+    def __post_init__(self) -> None:
+        if self.cuda_cores <= 0:
+            raise CatalogError(f"GPU {self.model} has non-positive core count")
+        if self.rpeak_gflops <= 0:
+            raise CatalogError(f"GPU {self.model} has non-positive Rpeak")
+
+
+#: Fermi-generation card with 448 CUDA cores (515 GFLOPS DP at spec).
+TESLA_C2050 = GpuModel(
+    model="NVIDIA Tesla C2050",
+    cuda_cores=448,
+    rpeak_gflops=515.0,
+    tdp_watts=238.0,
+    price_usd=2500.0,
+)
+
+
+def calibrated_gpu(
+    name: str,
+    *,
+    cuda_cores: int,
+    target_rpeak_gflops: float,
+    tdp_watts: float = 238.0,
+    price_usd: float = 2500.0,
+) -> GpuModel:
+    """Synthesise a GPU whose counted Rpeak matches a published site figure."""
+    if target_rpeak_gflops <= 0:
+        raise CatalogError(
+            f"calibrated GPU needs positive target Rpeak, got {target_rpeak_gflops}"
+        )
+    return GpuModel(
+        model=name,
+        cuda_cores=cuda_cores,
+        rpeak_gflops=target_rpeak_gflops,
+        tdp_watts=tdp_watts,
+        price_usd=price_usd,
+    )

@@ -1,0 +1,96 @@
+"""ASCII renderings of populated chassis — the Figure 1-3 substitutes.
+
+The paper's Figures 1-2 are photographs of the LittleFe v4 frame (rear and
+front views, six exposed mini-ITX nodes) and Figure 3 is a photograph of the
+Limulus HPC200 internals.  We cannot reproduce photographs, so the renderer
+draws the same structural information from the hardware model: node layout,
+boards, coolers, per-node power supplies, drives, and the head node's two
+network drops.  The renderings are deterministic, so they are also tested.
+"""
+
+from __future__ import annotations
+
+from .chassis import Machine
+from .node import NodeRole
+
+__all__ = ["render_littlefe", "render_limulus", "render_machine"]
+
+_WIDTH = 66
+
+
+def _box_line(text: str = "") -> str:
+    return "| " + text.ljust(_WIDTH - 4) + " |"
+
+
+def _rule(ch: str = "-") -> str:
+    return "+" + ch * (_WIDTH - 2) + "+"
+
+
+def _node_slot_lines(machine: Machine, index: int, view: str) -> list[str]:
+    node = machine.nodes[index]
+    tag = "HEAD" if node.role == NodeRole.FRONTEND else f"c{index}"
+    lines = [_box_line(f"[slot {index}] {tag:<5} {node.board.model}")]
+    if view == "front":
+        cool = node.cooler.model if node.cooler else "passive sink"
+        lines.append(_box_line(f"        cpu: {node.cpu.model}  fan: {cool}"))
+        if node.storage:
+            drives = ", ".join(s.model for s in node.storage)
+            lines.append(_box_line(f"        disk: {drives}"))
+        else:
+            lines.append(_box_line("        disk: (diskless)"))
+    else:  # rear view: power and network
+        psu = node.psu.model if node.psu else "(chassis PSU rail)"
+        lines.append(_box_line(f"        psu: {psu}"))
+        nic_desc = []
+        for j, nic in enumerate(node.nics):
+            used = j == 0 or node.role == NodeRole.FRONTEND
+            nic_desc.append(f"eth{j}:{'up' if used else 'unused'}")
+        lines.append(_box_line(f"        net: {'  '.join(nic_desc)}"))
+    return lines
+
+
+def render_machine(machine: Machine, *, view: str = "front") -> str:
+    """Render any populated machine as a labelled ASCII elevation.
+
+    ``view`` is ``"front"`` (boards, coolers, drives — Figure 2) or
+    ``"rear"`` (power, network — Figure 1).
+    """
+    if view not in ("front", "rear"):
+        raise ValueError(f"view must be 'front' or 'rear', got {view!r}")
+    title = f"{machine.name} — {machine.chassis.model} ({view} view)"
+    lines = [_rule("="), _box_line(title), _rule("=")]
+    for i in range(len(machine.nodes)):
+        lines.extend(_node_slot_lines(machine, i, view))
+        lines.append(_rule())
+    lines.append(
+        _box_line(
+            f"{machine.node_count} nodes / {machine.total_cores} cores / "
+            f"{machine.rpeak_gflops:.1f} GFLOPS peak / "
+            f"{machine.draw_watts:.0f} W / {machine.weight_lb:.0f} lb"
+        )
+    )
+    if machine.shared_psu is not None:
+        lines.append(_box_line(f"shared supply: {machine.shared_psu.model}"))
+    lines.append(_rule("="))
+    return "\n".join(lines)
+
+
+def render_littlefe(machine: Machine, *, view: str = "front") -> str:
+    """Figure 1 (rear) / Figure 2 (front) substitute for a LittleFe frame."""
+    if machine.chassis.slots != 6:
+        raise ValueError(
+            f"render_littlefe expects the 6-slot LittleFe frame, got "
+            f"{machine.chassis.model!r}"
+        )
+    return render_machine(machine, view=view)
+
+
+def render_limulus(machine: Machine) -> str:
+    """Figure 3 substitute: Limulus HPC200 internals (front view only —
+    the deskside case hides its rear)."""
+    if machine.chassis.slots != 4:
+        raise ValueError(
+            f"render_limulus expects the 4-slot Limulus case, got "
+            f"{machine.chassis.model!r}"
+        )
+    return render_machine(machine, view="front")

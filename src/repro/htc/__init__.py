@@ -1,0 +1,44 @@
+"""The HTCondor-like high-throughput substrate (Table 1's htcondor roll):
+ClassAd-lite matchmaking, dedicated + scavenged slots, fair-share
+negotiation, and owner-return eviction.
+"""
+
+from ..rocks.installer import ProvisionedCluster
+from .classads import ClassAd, Condition, HtcError, Op, Requirements
+from .condor import CondorPool, HtcJob, HtcJobState, Slot
+
+__all__ = [
+    "ClassAd",
+    "Condition",
+    "Requirements",
+    "Op",
+    "HtcError",
+    "CondorPool",
+    "HtcJob",
+    "HtcJobState",
+    "Slot",
+    "pool_from_cluster",
+]
+
+
+def pool_from_cluster(cluster: ProvisionedCluster) -> CondorPool:
+    """Build a pool from a provisioned cluster's compute nodes.
+
+    Requires the htcondor roll to be installed (the condor_master service
+    must exist on the compute nodes) — matching how the real roll turns
+    cluster nodes into pool members.
+    """
+    pool = CondorPool()
+    for host in cluster.hosts()[1:]:
+        if not host.services.is_running("condor_master"):
+            raise HtcError(
+                f"{host.name}: condor_master is not running "
+                f"(install the htcondor roll)"
+            )
+        node = host.node
+        pool.add_dedicated_machine(
+            host.name,
+            cores=node.cores,
+            memory_mb=node.memory_bytes // (1024 * 1024),
+        )
+    return pool

@@ -1,0 +1,117 @@
+"""ClassAd-lite: HTCondor's matchmaking language, reduced to its core.
+
+Table 1 ships the **htcondor** roll ("HTCondor high-throughput computing
+workload management system").  HTCondor's defining mechanism is symmetric
+matchmaking: machines advertise attributes and a ``requirements`` expression
+over job attributes; jobs do the same over machine attributes; a match needs
+both requirements true, then ``rank`` orders the candidates.
+
+Expressions here are restricted to conjunctions of comparisons over named
+attributes — enough to express the real-world policies the roll is used for
+(memory floors, architecture pins, owner-idle scavenging) while staying
+honestly testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import ReproError
+
+__all__ = ["HtcError", "Op", "Condition", "Requirements", "ClassAd"]
+
+
+class HtcError(ReproError):
+    """Invalid HTC operation."""
+
+
+class Op(str, Enum):
+    """Comparison operators a condition may use."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One comparison: ``other.<attribute> <op> <value>``."""
+
+    attribute: str
+    op: Op
+    value: object
+
+    def evaluate(self, ad: "ClassAd") -> bool:
+        """True if the condition holds against ``ad``'s attributes.
+
+        A missing attribute makes the condition false (HTCondor's UNDEFINED
+        propagates to not-matched in requirements position).
+        """
+        if self.attribute not in ad.attributes:
+            return False
+        have = ad.attributes[self.attribute]
+        want = self.value
+        try:
+            if self.op is Op.EQ:
+                return have == want
+            if self.op is Op.NE:
+                return have != want
+            if self.op is Op.LT:
+                return have < want  # type: ignore[operator]
+            if self.op is Op.LE:
+                return have <= want  # type: ignore[operator]
+            if self.op is Op.GT:
+                return have > want  # type: ignore[operator]
+            if self.op is Op.GE:
+                return have >= want  # type: ignore[operator]
+        except TypeError:
+            return False
+        raise AssertionError(f"unhandled op {self.op}")  # pragma: no cover
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.op.value} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """A conjunction of conditions (empty = always true)."""
+
+    conditions: tuple[Condition, ...] = ()
+
+    def evaluate(self, ad: "ClassAd") -> bool:
+        return all(c.evaluate(ad) for c in self.conditions)
+
+    def __str__(self) -> str:
+        if not self.conditions:
+            return "TRUE"
+        return " && ".join(str(c) for c in self.conditions)
+
+
+@dataclass
+class ClassAd:
+    """A named bag of attributes plus requirements and a rank attribute."""
+
+    name: str
+    attributes: dict[str, object] = field(default_factory=dict)
+    requirements: Requirements = field(default_factory=Requirements)
+    #: attribute of the OTHER ad used to order candidates (higher better);
+    #: empty string = indifferent
+    rank_attribute: str = ""
+
+    def matches(self, other: "ClassAd") -> bool:
+        """Symmetric match: both sides' requirements hold."""
+        return self.requirements.evaluate(other) and other.requirements.evaluate(self)
+
+    def rank_of(self, other: "ClassAd") -> float:
+        """This ad's preference for ``other`` (0 when indifferent)."""
+        if not self.rank_attribute:
+            return 0.0
+        value = other.attributes.get(self.rank_attribute, 0)
+        try:
+            return float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return 0.0

@@ -1,0 +1,240 @@
+"""An HTCondor-like high-throughput pool: matchmaking + cycle scavenging.
+
+The pool's slots come from two places, as in a real campus deployment:
+
+* dedicated cluster nodes (one slot per core);
+* *scavenged* desktop machines that join when their owner is idle and evict
+  jobs when the owner returns — the canonical Condor story.
+
+The negotiator runs a simple fair-share matchmaking cycle: for each idle
+job (oldest first per user, users interleaved by usage), find matching
+slots, rank by the job's preference, claim.  Eviction requeues the job
+(HTCondor's default for vanilla-universe jobs here: restart from scratch).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .classads import ClassAd, HtcError
+
+__all__ = ["HtcJobState", "HtcJob", "Slot", "CondorPool"]
+
+
+class HtcJobState(str, Enum):
+    IDLE = "idle"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    EVICTED = "evicted"  # transient: back to idle at the next cycle
+
+
+_htc_serial = itertools.count(1)
+
+
+@dataclass
+class HtcJob:
+    """One queued high-throughput job (vanilla universe)."""
+
+    ad: ClassAd
+    owner: str
+    runtime_cycles: int
+    job_id: int = field(default_factory=lambda: next(_htc_serial))
+    state: HtcJobState = HtcJobState.IDLE
+    remaining_cycles: int = 0
+    slot_name: str = ""
+    restarts: int = 0
+
+    def __post_init__(self) -> None:
+        if self.runtime_cycles <= 0:
+            raise HtcError(f"job {self.ad.name}: runtime must be positive")
+        self.remaining_cycles = self.runtime_cycles
+
+
+@dataclass
+class Slot:
+    """One execution slot (a core of some machine)."""
+
+    ad: ClassAd
+    dedicated: bool
+    owner_present: bool = False  # desktops only
+    running: HtcJob | None = None
+
+    @property
+    def name(self) -> str:
+        return self.ad.name
+
+    @property
+    def available(self) -> bool:
+        if self.running is not None:
+            return False
+        return self.dedicated or not self.owner_present
+
+
+class CondorPool:
+    """The pool: collector + negotiator + startds, discretised in cycles."""
+
+    def __init__(self) -> None:
+        self._slots: dict[str, Slot] = {}
+        self.queue: list[HtcJob] = []
+        self.completed: list[HtcJob] = []
+        self.cycle = 0
+        self.usage: dict[str, int] = {}  # owner -> slot-cycles consumed
+        self.evictions = 0
+
+    # -- membership --------------------------------------------------------------
+
+    def add_slot(self, slot: Slot) -> None:
+        if slot.name in self._slots:
+            raise HtcError(f"duplicate slot {slot.name}")
+        self._slots[slot.name] = slot
+
+    def add_dedicated_machine(self, name: str, cores: int, memory_mb: int, **attrs) -> None:
+        """Add one dedicated node as ``cores`` slots."""
+        for i in range(cores):
+            ad = ClassAd(
+                name=f"slot{i + 1}@{name}",
+                attributes={
+                    "Machine": name,
+                    "Memory": memory_mb // max(cores, 1),
+                    "Arch": "X86_64",
+                    "Dedicated": True,
+                    **attrs,
+                },
+            )
+            self.add_slot(Slot(ad=ad, dedicated=True))
+
+    def add_desktop(self, name: str, memory_mb: int, **attrs) -> None:
+        """Add one owner-controlled desktop (single slot, scavenged)."""
+        ad = ClassAd(
+            name=f"slot1@{name}",
+            attributes={
+                "Machine": name,
+                "Memory": memory_mb,
+                "Arch": "X86_64",
+                "Dedicated": False,
+                **attrs,
+            },
+        )
+        self.add_slot(Slot(ad=ad, dedicated=False))
+
+    def set_owner_present(self, machine: str, present: bool) -> list[HtcJob]:
+        """Owner sits down / leaves; returning owners evict running jobs."""
+        evicted = []
+        for slot in self._slots.values():
+            if slot.ad.attributes.get("Machine") != machine or slot.dedicated:
+                continue
+            slot.owner_present = present
+            if present and slot.running is not None:
+                job = slot.running
+                slot.running = None
+                job.state = HtcJobState.EVICTED
+                job.slot_name = ""
+                job.remaining_cycles = job.runtime_cycles  # vanilla restart
+                job.restarts += 1
+                self.evictions += 1
+                evicted.append(job)
+        return evicted
+
+    # -- queue --------------------------------------------------------------------
+
+    def submit(self, job: HtcJob) -> HtcJob:
+        """condor_submit."""
+        self.queue.append(job)
+        return job
+
+    def idle_jobs(self) -> list[HtcJob]:
+        return [
+            j
+            for j in self.queue
+            if j.state in (HtcJobState.IDLE, HtcJobState.EVICTED)
+        ]
+
+    def running_jobs(self) -> list[HtcJob]:
+        return [j for j in self.queue if j.state is HtcJobState.RUNNING]
+
+    # -- negotiation ------------------------------------------------------------------
+
+    def _fair_order(self) -> list[HtcJob]:
+        """Idle jobs, interleaved across owners by accumulated usage."""
+        by_owner: dict[str, list[HtcJob]] = {}
+        for job in self.idle_jobs():
+            by_owner.setdefault(job.owner, []).append(job)
+        for jobs in by_owner.values():
+            jobs.sort(key=lambda j: j.job_id)
+        order: list[HtcJob] = []
+        while any(by_owner.values()):
+            # owner with the least usage goes next (fair share)
+            owner = min(
+                (o for o, jobs in by_owner.items() if jobs),
+                key=lambda o: (self.usage.get(o, 0), o),
+            )
+            order.append(by_owner[owner].pop(0))
+        return order
+
+    def negotiate(self) -> int:
+        """One negotiation pass; returns the number of matches made."""
+        matched = 0
+        for job in self._fair_order():
+            candidates = [
+                slot
+                for slot in self._slots.values()
+                if slot.available and job.ad.matches(slot.ad)
+            ]
+            if not candidates:
+                continue
+            best = max(
+                candidates, key=lambda s: (job.ad.rank_of(s.ad), s.dedicated, s.name)
+            )
+            best.running = job
+            job.state = HtcJobState.RUNNING
+            job.slot_name = best.name
+            matched += 1
+        return matched
+
+    def step(self) -> None:
+        """One pool cycle: negotiate, then advance running jobs."""
+        self.cycle += 1
+        self.negotiate()
+        for slot in self._slots.values():
+            job = slot.running
+            if job is None:
+                continue
+            job.remaining_cycles -= 1
+            self.usage[job.owner] = self.usage.get(job.owner, 0) + 1
+            if job.remaining_cycles <= 0:
+                job.state = HtcJobState.COMPLETED
+                slot.running = None
+                self.queue.remove(job)
+                self.completed.append(job)
+
+    def run_until_drained(self, *, max_cycles: int = 10_000) -> int:
+        """Step until the queue empties; returns cycles used."""
+        start = self.cycle
+        while self.queue:
+            if self.cycle - start >= max_cycles:
+                raise HtcError(
+                    f"pool did not drain in {max_cycles} cycles "
+                    f"({len(self.queue)} jobs left — unmatchable requirements?)"
+                )
+            self.step()
+        return self.cycle - start
+
+    def slot_count(self) -> int:
+        return len(self._slots)
+
+    def condor_status(self) -> str:
+        """The condor_status table."""
+        lines = [f"{'Name':<26}{'Type':<11}{'State':<12}{'Activity':<10}"]
+        for name in sorted(self._slots):
+            slot = self._slots[name]
+            kind = "dedicated" if slot.dedicated else "desktop"
+            if slot.running is not None:
+                state, activity = "Claimed", "Busy"
+            elif slot.available:
+                state, activity = "Unclaimed", "Idle"
+            else:
+                state, activity = "Owner", "InUse"
+            lines.append(f"{name:<26}{kind:<11}{state:<12}{activity:<10}")
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""TOP500-style reporting and price/performance (Table 5's derived columns).
+
+The paper prices both machines in dollars per GFLOPS on both Rpeak and Rmax
+and argues they sit "an order of magnitude lower than similarly powered
+systems in a typical server configuration" — :func:`rank` and
+:class:`PricePerformance` make those comparisons executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LinpackError
+from .hpl import HplReport
+
+__all__ = ["PricePerformance", "price_performance", "rank", "render_table5_row"]
+
+
+@dataclass(frozen=True)
+class PricePerformance:
+    """Cost figures for one system (the last three Table 5 columns)."""
+
+    system: str
+    cost_usd: float
+    rpeak_gflops: float
+    rmax_gflops: float
+
+    @property
+    def usd_per_rpeak_gflops(self) -> float:
+        return self.cost_usd / self.rpeak_gflops
+
+    @property
+    def usd_per_rmax_gflops(self) -> float:
+        return self.cost_usd / self.rmax_gflops
+
+
+def price_performance(report: HplReport, cost_usd: float) -> PricePerformance:
+    """Derive price/performance from an HPL report and a system cost."""
+    if cost_usd <= 0:
+        raise LinpackError(f"cost must be positive, got {cost_usd}")
+    if report.rmax_gflops <= 0 or report.rpeak_gflops <= 0:
+        raise LinpackError("report has non-positive performance")
+    return PricePerformance(
+        system=report.machine_name,
+        cost_usd=cost_usd,
+        rpeak_gflops=report.rpeak_gflops,
+        rmax_gflops=report.rmax_gflops,
+    )
+
+
+def rank(reports: list[HplReport]) -> list[HplReport]:
+    """TOP500 ordering: by Rmax, descending."""
+    return sorted(reports, key=lambda r: -r.rmax_gflops)
+
+
+def render_table5_row(pp: PricePerformance, *, estimated: bool = False) -> str:
+    """One Table 5 row, formatted like the paper's."""
+    star = "*" if estimated else " "
+    return (
+        f"{pp.system:<16} {pp.rpeak_gflops:7.1f} {pp.rmax_gflops:7.1f}{star} "
+        f"${pp.cost_usd:<7.0f} "
+        f"${pp.usd_per_rpeak_gflops:.0f}/GFLOP  ${pp.usd_per_rmax_gflops:.0f}/GFLOPS"
+    )

@@ -1,0 +1,66 @@
+"""The Ganglia-like monitoring substrate (Table 1's ganglia roll): per-host
+gmond agents, the frontend gmetad aggregator, round-robin archives, and the
+text dashboard.
+
+:func:`monitor_cluster` wires a provisioned Rocks cluster into a working
+monitoring mesh in one call.
+"""
+
+from ..rocks.installer import ProvisionedCluster
+from .gmetad import ClusterSummary, Gmetad
+from .gmond import Gmond
+from .metrics import CORE_METRICS, MetricKind, MetricSample, MetricSpec, MonitoringError
+from .rrd import Rrd, RrdPoint
+
+__all__ = [
+    "MetricKind",
+    "MetricSpec",
+    "MetricSample",
+    "CORE_METRICS",
+    "MonitoringError",
+    "Rrd",
+    "RrdPoint",
+    "Gmond",
+    "Gmetad",
+    "ClusterSummary",
+    "monitor_cluster",
+]
+
+
+def monitor_cluster(
+    cluster: ProvisionedCluster,
+    *,
+    scheduler=None,
+    poll_period_s: float = 15.0,
+) -> Gmetad:
+    """Attach gmonds to every node of a provisioned cluster.
+
+    When ``scheduler`` (any :class:`~repro.scheduler.base.BaseScheduler`) is
+    given, each node's load metric reports the cores the scheduler currently
+    has allocated there — live integration between the batch system and the
+    monitoring mesh.
+    """
+    gmetad = Gmetad(cluster.machine.name, poll_period_s=poll_period_s)
+
+    def load_source_for(node_name: str):
+        if scheduler is None:
+            return None
+
+        def busy() -> int:
+            total = 0
+            for job in scheduler.running:
+                if job.allocation is None:
+                    continue
+                for name, cores in job.allocation.by_node:
+                    if name == node_name:
+                        total += cores
+            return total
+
+        return busy
+
+    for host in cluster.hosts():
+        db = cluster.db_for(host)
+        gmetad.attach(
+            Gmond(host, db, load_source=load_source_for(host.node.name))
+        )
+    return gmetad

@@ -1,0 +1,159 @@
+"""gmetad: the cluster-level Ganglia aggregator, plus the text dashboard.
+
+The frontend's gmetad polls every node's gmond on a fixed period, stores
+each (host, metric) stream in an RRD, and can answer the questions the web
+frontend renders: cluster load, memory, down nodes, per-host detail.  The
+``render_dashboard`` output stands in for the Ganglia web UI the paper's
+training goals include.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .gmond import Gmond
+from .metrics import CORE_METRICS, MonitoringError
+from .rrd import Rrd
+
+__all__ = ["Gmetad", "ClusterSummary"]
+
+
+@dataclass(frozen=True)
+class ClusterSummary:
+    """One aggregated snapshot of the whole cluster."""
+
+    timestamp_s: float
+    hosts_total: int
+    hosts_up: int
+    total_cores: int
+    load_total: float
+    mem_total_kb: float
+    mem_free_kb: float
+    failed_services: int
+
+    @property
+    def hosts_down(self) -> int:
+        return self.hosts_total - self.hosts_up
+
+    @property
+    def load_fraction(self) -> float:
+        return self.load_total / self.total_cores if self.total_cores else 0.0
+
+
+class Gmetad:
+    """The aggregator on the frontend."""
+
+    def __init__(self, cluster_name: str, *, poll_period_s: float = 15.0) -> None:
+        if poll_period_s <= 0:
+            raise MonitoringError("poll period must be positive")
+        self.cluster_name = cluster_name
+        self.poll_period_s = poll_period_s
+        self._gmonds: dict[str, Gmond] = {}
+        self._rrds: dict[tuple[str, str], Rrd] = {}
+        self.now_s = 0.0
+        self.summaries: list[ClusterSummary] = []
+
+    def attach(self, gmond: Gmond) -> None:
+        """Register a node's gmond as a data source."""
+        name = gmond.host.name
+        if name in self._gmonds:
+            raise MonitoringError(f"gmond for {name} already attached")
+        self._gmonds[name] = gmond
+
+    def hosts(self) -> list[str]:
+        return sorted(self._gmonds)
+
+    def rrd_for(self, host: str, metric: str) -> Rrd:
+        """The archive of one (host, metric) stream."""
+        if metric not in CORE_METRICS:
+            raise MonitoringError(f"unknown metric {metric!r}")
+        if host not in self._gmonds:
+            raise MonitoringError(f"unknown host {host!r}")
+        key = (host, metric)
+        if key not in self._rrds:
+            self._rrds[key] = Rrd(step_s=self.poll_period_s)
+        return self._rrds[key]
+
+    def poll_cycle(self) -> ClusterSummary:
+        """One polling period: pull every gmond, archive, summarise."""
+        self.now_s += self.poll_period_s
+        up = 0
+        total_cores = 0
+        load_total = 0.0
+        mem_total = 0.0
+        mem_free = 0.0
+        failed = 0
+        for name in self.hosts():
+            gmond = self._gmonds[name]
+            samples = {s.spec.name: s for s in gmond.poll(self.now_s)}
+            for metric, sample in samples.items():
+                self.rrd_for(name, metric).update(self.now_s, sample.value)
+            if samples["powered_on"].value > 0:
+                up += 1
+                total_cores += int(samples["cpu_num"].value)
+                load_total += samples["load_one"].value
+                mem_total += samples["mem_total"].value
+                mem_free += samples["mem_free"].value
+                failed += int(samples["svc_failed"].value)
+        summary = ClusterSummary(
+            timestamp_s=self.now_s,
+            hosts_total=len(self._gmonds),
+            hosts_up=up,
+            total_cores=total_cores,
+            load_total=load_total,
+            mem_total_kb=mem_total,
+            mem_free_kb=mem_free,
+            failed_services=failed,
+        )
+        self.summaries.append(summary)
+        return summary
+
+    def run_cycles(self, count: int) -> ClusterSummary:
+        """Poll ``count`` times; returns the last summary."""
+        if count <= 0:
+            raise MonitoringError("cycle count must be positive")
+        last = None
+        for _ in range(count):
+            last = self.poll_cycle()
+        assert last is not None
+        return last
+
+    def down_hosts(self) -> list[str]:
+        """Hosts whose latest powered_on sample is 0 (the web UI's red row)."""
+        down = []
+        for name in self.hosts():
+            rrd = self.rrd_for(name, "powered_on")
+            latest = rrd.latest()
+            if latest is not None and latest.value < 0.5:
+                down.append(name)
+        return down
+
+    def render_dashboard(self) -> str:
+        """The web frontend's cluster page, as text."""
+        if not self.summaries:
+            raise MonitoringError("no polling cycles have run")
+        s = self.summaries[-1]
+        lines = [
+            f"=== Ganglia: {self.cluster_name} "
+            f"(t={s.timestamp_s:.0f}s, {s.hosts_up}/{s.hosts_total} up) ===",
+            f"load {s.load_total:.1f}/{s.total_cores} cores "
+            f"({s.load_fraction:.0%}); mem free "
+            f"{s.mem_free_kb / 1024 / 1024:.1f}/{s.mem_total_kb / 1024 / 1024:.1f} GiB; "
+            f"failed services: {s.failed_services}",
+            "",
+            f"{'host':<18}{'up':>4}{'load':>8}{'cpus':>6}{'pkgs':>7}{'fail':>6}",
+        ]
+        for name in self.hosts():
+            row = {
+                metric: self.rrd_for(name, metric).latest()
+                for metric in ("powered_on", "load_one", "cpu_num", "pkg_count", "svc_failed")
+            }
+            up = "yes" if row["powered_on"] and row["powered_on"].value > 0.5 else "NO"
+            lines.append(
+                f"{name:<18}{up:>4}"
+                f"{row['load_one'].value if row['load_one'] else 0:>8.1f}"
+                f"{row['cpu_num'].value if row['cpu_num'] else 0:>6.0f}"
+                f"{row['pkg_count'].value if row['pkg_count'] else 0:>7.0f}"
+                f"{row['svc_failed'].value if row['svc_failed'] else 0:>6.0f}"
+            )
+        return "\n".join(lines)

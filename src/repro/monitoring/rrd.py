@@ -1,0 +1,98 @@
+"""Round-robin archives: Ganglia's fixed-size metric history.
+
+An :class:`Rrd` stores the last N samples of one metric at a fixed step,
+consolidating (averaging) finer samples into each slot — constant storage
+regardless of how long the cluster runs, which is the whole point of RRD.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .metrics import MonitoringError
+
+__all__ = ["Rrd", "RrdPoint"]
+
+
+@dataclass(frozen=True)
+class RrdPoint:
+    """One consolidated slot."""
+
+    slot_start_s: float
+    value: float
+    samples: int
+
+
+class Rrd:
+    """One metric's ring buffer.
+
+    ``step_s`` is the slot width; ``slots`` the ring size.  Updates must be
+    non-decreasing in time (monitoring data arrives in order here; gmetad
+    enforces it).  Querying returns consolidated points, oldest first.
+    """
+
+    def __init__(self, *, step_s: float = 15.0, slots: int = 240) -> None:
+        if step_s <= 0 or slots <= 0:
+            raise MonitoringError("step and slots must be positive")
+        self.step_s = step_s
+        self.slots = slots
+        self._ring: list[tuple[int, float, int] | None] = [None] * slots
+        self._last_time: float = -math.inf
+
+    def _slot_index(self, timestamp_s: float) -> int:
+        return int(timestamp_s // self.step_s)
+
+    def update(self, timestamp_s: float, value: float) -> None:
+        """Record one sample, consolidating into its slot by averaging."""
+        if timestamp_s < self._last_time:
+            raise MonitoringError(
+                f"out-of-order sample: {timestamp_s} after {self._last_time}"
+            )
+        self._last_time = timestamp_s
+        absolute = self._slot_index(timestamp_s)
+        position = absolute % self.slots
+        held = self._ring[position]
+        if held is not None and held[0] == absolute:
+            _abs, total, count = held
+            self._ring[position] = (absolute, total + value, count + 1)
+        else:
+            self._ring[position] = (absolute, value, 1)
+
+    def series(self) -> list[RrdPoint]:
+        """Consolidated points currently held, oldest first."""
+        points = [
+            RrdPoint(
+                slot_start_s=absolute * self.step_s,
+                value=total / count,
+                samples=count,
+            )
+            for entry in self._ring
+            if entry is not None
+            for absolute, total, count in [entry]
+        ]
+        return sorted(points, key=lambda p: p.slot_start_s)
+
+    def latest(self) -> RrdPoint | None:
+        """The most recent consolidated point, or None when empty."""
+        series = self.series()
+        return series[-1] if series else None
+
+    def mean(self) -> float:
+        """Sample-weighted mean over the whole retained window."""
+        series = self.series()
+        if not series:
+            raise MonitoringError("empty RRD")
+        total = sum(p.value * p.samples for p in series)
+        count = sum(p.samples for p in series)
+        return total / count
+
+    def maximum(self) -> float:
+        """Max consolidated value retained."""
+        series = self.series()
+        if not series:
+            raise MonitoringError("empty RRD")
+        return max(p.value for p in series)
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._ring if entry is not None)

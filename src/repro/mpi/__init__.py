@@ -1,0 +1,40 @@
+"""Simulated MPI: a rank/communicator model over the network fabric with
+data-correct collectives and accounted (not slept) time.
+"""
+
+from .benchmarks import (
+    PingPongPoint,
+    allreduce_sweep,
+    effective_bandwidth,
+    ping_pong,
+)
+from .collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    bcast,
+    gather,
+    reduce,
+    scatter,
+)
+from .jobs import MpiJobProfile, run_allreduce_job, world_for_job
+from .simulator import MpiWorld, bytes_of
+
+__all__ = [
+    "MpiWorld",
+    "bytes_of",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+    "ping_pong",
+    "PingPongPoint",
+    "effective_bandwidth",
+    "allreduce_sweep",
+    "world_for_job",
+    "run_allreduce_job",
+    "MpiJobProfile",
+]

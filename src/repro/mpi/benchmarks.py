@@ -1,0 +1,80 @@
+"""MPI microbenchmarks: ping-pong and collective sweeps.
+
+These are the "does the interconnect behave" tools a cluster admin runs
+after an XCBC install (the hpc roll ships exactly such tests).  They also
+calibrate the HPL efficiency model's view of the fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MpiError
+from .collectives import allreduce
+from .simulator import MpiWorld
+
+__all__ = ["PingPongPoint", "ping_pong", "allreduce_sweep", "effective_bandwidth"]
+
+
+@dataclass(frozen=True)
+class PingPongPoint:
+    """One message-size sample of a ping-pong run."""
+
+    nbytes: int
+    round_trip_s: float
+
+    @property
+    def one_way_s(self) -> float:
+        return self.round_trip_s / 2.0
+
+    @property
+    def bandwidth_bytes_s(self) -> float:
+        """One-way effective bandwidth at this size."""
+        return self.nbytes / self.one_way_s if self.one_way_s > 0 else 0.0
+
+
+def ping_pong(
+    world: MpiWorld, *, src: int = 0, dst: int = 1, sizes: list[int] | None = None
+) -> list[PingPongPoint]:
+    """Classic two-rank ping-pong across a size sweep.
+
+    Returns one point per size; the latency floor shows at small sizes and
+    the bandwidth asymptote at large ones.
+    """
+    if world.size < 2:
+        raise MpiError("ping-pong needs at least two ranks")
+    sizes = sizes or [8 << (2 * k) for k in range(10)]  # 8 B .. 2 MiB
+    points = []
+    for nbytes in sizes:
+        one_way = world.transfer_time_s(src, dst, nbytes)
+        back = world.transfer_time_s(dst, src, nbytes)
+        points.append(PingPongPoint(nbytes=nbytes, round_trip_s=one_way + back))
+    return points
+
+
+def effective_bandwidth(points: list[PingPongPoint]) -> float:
+    """Asymptotic bandwidth: the best one-way rate seen in the sweep."""
+    if not points:
+        raise MpiError("empty ping-pong sweep")
+    return max(p.bandwidth_bytes_s for p in points)
+
+
+def allreduce_sweep(
+    world: MpiWorld, element_counts: list[int] | None = None
+) -> list[tuple[int, float]]:
+    """Time allreduce of vectors of doubles across a size sweep.
+
+    Returns ``(element_count, elapsed_s)`` pairs; the correctness of the
+    reduction itself is asserted inline (sum of per-rank vectors).
+    """
+    element_counts = element_counts or [1, 64, 1024, 16384]
+    results = []
+    for count in element_counts:
+        world.reset_clocks()
+        data = [[float(rank + 1)] * count for rank in range(world.size)]
+        merged = allreduce(world, data, lambda a, b: [x + y for x, y in zip(a, b)])
+        expected = float(world.size * (world.size + 1) // 2)
+        if any(abs(x - expected) > 1e-9 for x in merged[0]):
+            raise MpiError("allreduce produced a wrong reduction")
+        results.append((count, world.elapsed_s))
+    return results

@@ -1,0 +1,222 @@
+"""MPI collectives over the simulated world: correct data, costed rounds.
+
+Each collective takes per-rank input data, runs the textbook algorithm
+through :class:`~repro.mpi.simulator.MpiWorld` point-to-point primitives,
+and returns the per-rank results.  Because the algorithms use the real
+send/recv machinery, both the *answers* and the *accounted time* come out of
+the same execution:
+
+* ``bcast`` — binomial tree, ceil(log2 p) rounds;
+* ``reduce`` — binomial tree (mirror of bcast);
+* ``allreduce`` — recursive doubling (power-of-two ranks pairwise exchange);
+* ``gather`` / ``scatter`` — linear at the root (fine at these scales);
+* ``allgather`` — ring, p-1 rounds;
+* ``alltoall`` — pairwise exchange rounds.
+
+Non-power-of-two sizes are handled with the standard fold-in/fold-out trick
+for allreduce.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from ..errors import MpiError
+from .simulator import MpiWorld
+
+__all__ = ["bcast", "reduce", "allreduce", "gather", "scatter", "allgather", "alltoall"]
+
+T = TypeVar("T")
+
+
+def _check_world_data(world: MpiWorld, data: Sequence[object]) -> None:
+    if len(data) != world.size:
+        raise MpiError(
+            f"need one datum per rank: got {len(data)} for world of {world.size}"
+        )
+
+
+def bcast(world: MpiWorld, value: T, *, root: int = 0) -> list[T]:
+    """Binomial-tree broadcast; returns the value as seen by every rank."""
+    world._check_rank(root)
+    p = world.size
+    have: dict[int, T] = {root: value}
+    # Relabel so the root is rank 0 in tree coordinates.
+    def real(r: int) -> int:
+        return (r + root) % p
+
+    distance = 1
+    while distance < p:
+        # Every virtual rank below `distance` already has the value and
+        # seeds the rank `distance` above it — the binomial tree.
+        for vrank in range(distance):
+            partner = vrank + distance
+            if partner < p:
+                src, dst = real(vrank), real(partner)
+                world.send(src, dst, have[src], tag=101)
+                have[dst] = world.recv(dst, src, tag=101)  # type: ignore[assignment]
+        distance *= 2
+    return [have[r] for r in range(p)]
+
+
+def reduce(
+    world: MpiWorld,
+    data: Sequence[T],
+    op: Callable[[T, T], T],
+    *,
+    root: int = 0,
+) -> T:
+    """Binomial-tree reduction to ``root``; returns the reduced value.
+
+    ``op`` must be associative (it is applied in tree order, not rank
+    order) — all the usual MPI ops qualify.
+    """
+    _check_world_data(world, data)
+    world._check_rank(root)
+    p = world.size
+
+    def real(r: int) -> int:
+        return (r + root) % p
+
+    partial: dict[int, T] = {real(v): data[real(v)] for v in range(p)}
+    distance = 1
+    while distance < p:
+        for vrank in range(0, p, 2 * distance):
+            partner = vrank + distance
+            if partner < p:
+                src, dst = real(partner), real(vrank)
+                world.send(src, dst, partial[src], tag=102)
+                incoming = world.recv(dst, src, tag=102)
+                partial[dst] = op(partial[dst], incoming)  # type: ignore[arg-type]
+        distance *= 2
+    return partial[root]
+
+
+def allreduce(
+    world: MpiWorld, data: Sequence[T], op: Callable[[T, T], T]
+) -> list[T]:
+    """Recursive-doubling allreduce; every rank gets the full reduction.
+
+    Non-power-of-two worlds fold the excess ranks into the power-of-two
+    core first and fan the result back out afterwards.
+    """
+    _check_world_data(world, data)
+    p = world.size
+    if p == 1:
+        return [data[0]]
+    # Largest power of two <= p.
+    core = 1
+    while core * 2 <= p:
+        core *= 2
+    values: list[T] = list(data)  # type: ignore[arg-type]
+    excess = p - core
+    # Fold in: ranks core..p-1 send to their partner in the core.
+    for i in range(excess):
+        src, dst = core + i, i
+        world.send(src, dst, values[src], tag=103)
+        incoming = world.recv(dst, src, tag=103)
+        values[dst] = op(values[dst], incoming)  # type: ignore[arg-type]
+    # Recursive doubling within the core.
+    distance = 1
+    while distance < core:
+        for rank in range(core):
+            partner = rank ^ distance
+            if partner > rank:
+                got_a, got_b = world.sendrecv(
+                    rank, partner, values[rank], values[partner], tag=104
+                )
+                merged = op(values[rank], values[partner])  # type: ignore[arg-type]
+                values[rank] = merged
+                values[partner] = merged
+        distance *= 2
+    # Fan out to the folded ranks.
+    for i in range(excess):
+        src, dst = i, core + i
+        world.send(src, dst, values[src], tag=105)
+        values[dst] = world.recv(dst, src, tag=105)  # type: ignore[assignment]
+    return values
+
+
+def gather(world: MpiWorld, data: Sequence[T], *, root: int = 0) -> list[T]:
+    """Linear gather to ``root``; returns the gathered list (rank order)."""
+    _check_world_data(world, data)
+    world._check_rank(root)
+    out: list[T] = []
+    for rank in range(world.size):
+        if rank == root:
+            out.append(data[rank])
+        else:
+            world.send(rank, root, data[rank], tag=106)
+            out.append(world.recv(root, rank, tag=106))  # type: ignore[arg-type]
+    return out
+
+
+def scatter(world: MpiWorld, chunks: Sequence[T], *, root: int = 0) -> list[T]:
+    """Linear scatter from ``root``; returns what each rank received."""
+    _check_world_data(world, chunks)
+    world._check_rank(root)
+    received: list[T] = list(chunks)  # type: ignore[arg-type]
+    for rank in range(world.size):
+        if rank != root:
+            world.send(root, rank, chunks[rank], tag=107)
+            received[rank] = world.recv(rank, root, tag=107)  # type: ignore[assignment]
+    return received
+
+
+def allgather(world: MpiWorld, data: Sequence[T]) -> list[list[T]]:
+    """Ring allgather; every rank ends with the full rank-ordered list."""
+    _check_world_data(world, data)
+    p = world.size
+    buffers: list[list[T]] = [[data[r]] for r in range(p)]  # type: ignore[list-item]
+    if p == 1:
+        return buffers
+    for step in range(p - 1):
+        for rank in range(p):
+            dst = (rank + 1) % p
+            # each rank forwards the piece it received `step` rounds ago
+            piece_owner = (rank - step) % p
+            world.send(rank, dst, data[piece_owner], tag=108 + step)
+        for rank in range(p):
+            src = (rank - 1) % p
+            piece = world.recv(rank, src, tag=108 + step)
+            buffers[rank].append(piece)  # type: ignore[arg-type]
+    # Reorder each buffer into rank order.
+    ordered: list[list[T]] = []
+    for rank in range(p):
+        ranks_in_arrival = [rank] + [(rank - 1 - s) % p for s in range(p - 1)]
+        by_rank = dict(zip(ranks_in_arrival, buffers[rank]))
+        ordered.append([by_rank[r] for r in range(p)])
+    return ordered
+
+
+def alltoall(world: MpiWorld, matrix: Sequence[Sequence[T]]) -> list[list[T]]:
+    """Pairwise-exchange alltoall.
+
+    ``matrix[i][j]`` is what rank i sends to rank j; the result's
+    ``[j][i]`` is what rank j received from rank i.
+    """
+    _check_world_data(world, matrix)
+    p = world.size
+    for row in matrix:
+        if len(row) != p:
+            raise MpiError("alltoall needs a full p x p matrix")
+    out: list[list[T]] = [[matrix[j][j] if i == j else None for j in range(p)] for i in range(p)]  # type: ignore[misc]
+    for i in range(p):
+        out[i][i] = matrix[i][i]  # type: ignore[index]
+    for step in range(1, p):
+        for rank in range(p):
+            partner = rank ^ step if (rank ^ step) < p else None
+            if partner is not None and partner > rank:
+                got_a, got_b = world.sendrecv(
+                    rank, partner, matrix[rank][partner], matrix[partner][rank],
+                    tag=300 + step,
+                )
+                out[rank][partner] = got_a  # type: ignore[index]
+                out[partner][rank] = got_b  # type: ignore[index]
+    # XOR pairing misses some pairs for non-power-of-two p; finish linearly.
+    for i in range(p):
+        for j in range(p):
+            if out[i][j] is None:
+                world.send(j, i, matrix[j][i], tag=399)
+                out[i][j] = world.recv(i, j, tag=399)  # type: ignore[index]
+    return out

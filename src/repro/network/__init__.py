@@ -1,0 +1,24 @@
+"""Cluster networking: fabric cost model, DHCP, PXE, and topology builders.
+
+The substrate Rocks provisions over (PXE/DHCP) and the cost model the
+simulated-MPI layer and HPL efficiency model consume.
+"""
+
+from .dhcp import DhcpLease, DhcpServer
+from .fabric import Endpoint, Fabric, PathCost, Switch
+from .pxe import BootImage, PxeBootResult, PxeServer
+from .topology import ClusterNetwork, build_cluster_network
+
+__all__ = [
+    "Fabric",
+    "Switch",
+    "Endpoint",
+    "PathCost",
+    "DhcpServer",
+    "DhcpLease",
+    "PxeServer",
+    "BootImage",
+    "PxeBootResult",
+    "ClusterNetwork",
+    "build_cluster_network",
+]

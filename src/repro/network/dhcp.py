@@ -1,0 +1,93 @@
+"""DHCP on the cluster's private segment.
+
+Rocks' frontend runs dhcpd on the private interface; insert-ethers watches
+the DHCP log for unknown MACs and registers them as compute nodes.  The
+server hands out deterministic leases from a pool (Rocks uses 10.x space;
+we default to ``10.1.1.0/24`` style addressing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DhcpError
+
+__all__ = ["DhcpLease", "DhcpServer"]
+
+
+@dataclass(frozen=True)
+class DhcpLease:
+    """One MAC -> IP binding."""
+
+    mac: str
+    ip: str
+    hostname: str = ""
+
+
+class DhcpServer:
+    """The frontend's DHCP daemon on the private segment."""
+
+    def __init__(self, *, network_prefix: str = "10.1.1", pool_start: int = 10, pool_end: int = 254):
+        if not 0 < pool_start <= pool_end <= 254:
+            raise DhcpError(
+                f"invalid pool {pool_start}..{pool_end} (must be within 1..254)"
+            )
+        self.network_prefix = network_prefix
+        self.pool_start = pool_start
+        self.pool_end = pool_end
+        self._by_mac: dict[str, DhcpLease] = {}
+        self._next = pool_start
+        #: every DISCOVER seen, known or not (insert-ethers tails this)
+        self.request_log: list[str] = []
+
+    @property
+    def server_ip(self) -> str:
+        """The frontend's own address on the segment."""
+        return f"{self.network_prefix}.1"
+
+    def offer(self, mac: str, *, hostname: str = "") -> DhcpLease:
+        """Handle a DISCOVER: return the existing lease or allocate one."""
+        if not mac:
+            raise DhcpError("empty MAC address")
+        self.request_log.append(mac)
+        existing = self._by_mac.get(mac)
+        if existing is not None:
+            return existing
+        if self._next > self.pool_end:
+            raise DhcpError(
+                f"address pool {self.network_prefix}.{self.pool_start}-"
+                f"{self.pool_end} exhausted"
+            )
+        lease = DhcpLease(
+            mac=mac, ip=f"{self.network_prefix}.{self._next}", hostname=hostname
+        )
+        self._next += 1
+        self._by_mac[mac] = lease
+        return lease
+
+    def lease_for(self, mac: str) -> DhcpLease:
+        """Look up an existing lease."""
+        try:
+            return self._by_mac[mac]
+        except KeyError:
+            raise DhcpError(f"no lease for MAC {mac}") from None
+
+    def release(self, mac: str) -> None:
+        """Drop a lease (the address is NOT returned to the pool — matching
+        dhcpd's conservative behaviour within a lease epoch)."""
+        if mac not in self._by_mac:
+            raise DhcpError(f"no lease for MAC {mac}")
+        del self._by_mac[mac]
+
+    def leases(self) -> list[DhcpLease]:
+        """All active leases sorted by IP."""
+        return sorted(self._by_mac.values(), key=lambda l: [int(x) for x in l.ip.split(".")])
+
+    def unknown_macs(self, known: set[str]) -> list[str]:
+        """MACs seen in the request log that are not in ``known`` — the
+        insert-ethers discovery feed."""
+        seen: list[str] = []
+        for mac in self.request_log:
+            if mac not in known and mac not in seen:
+                seen.append(mac)
+        return seen

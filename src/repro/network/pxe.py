@@ -1,0 +1,75 @@
+"""PXE network boot.
+
+Rocks installs compute nodes by PXE-booting them into a kickstart install
+served by the frontend.  The boot sequence modelled here:
+
+1. the node broadcasts DHCP DISCOVER (handled by :class:`DhcpServer`);
+2. the offer carries next-server + boot filename;
+3. the node TFTPs the boot image and chains into the installer.
+
+A node with no NIC on the boot segment, or a server with no boot image
+registered for it, fails with :class:`PxeError` — these are the failure
+modes the provisioning tests inject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PxeError
+from .dhcp import DhcpLease, DhcpServer
+
+__all__ = ["BootImage", "PxeServer", "PxeBootResult"]
+
+
+@dataclass(frozen=True)
+class BootImage:
+    """A bootable installer image (vmlinuz + initrd + kickstart pointer)."""
+
+    name: str
+    kickstart_profile: str  # name of the kickstart graph profile to run
+    size_bytes: int = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PxeBootResult:
+    """A successful PXE handshake."""
+
+    lease: DhcpLease
+    image: BootImage
+    tftp_server_ip: str
+
+
+class PxeServer:
+    """The frontend's PXE service (dhcpd options + tftpd)."""
+
+    def __init__(self, dhcp: DhcpServer) -> None:
+        self.dhcp = dhcp
+        self._default_image: BootImage | None = None
+        self._per_mac: dict[str, BootImage] = {}
+        self.boot_log: list[str] = []
+
+    def set_default_image(self, image: BootImage) -> None:
+        """Image offered to any MAC without a specific assignment."""
+        self._default_image = image
+
+    def assign_image(self, mac: str, image: BootImage) -> None:
+        """Pin an image to one node (e.g. re-install just this node)."""
+        self._per_mac[mac] = image
+
+    def clear_assignment(self, mac: str) -> None:
+        """Return a node to the default image (post-install 'boot local')."""
+        self._per_mac.pop(mac, None)
+
+    def boot(self, mac: str, *, hostname: str = "") -> PxeBootResult:
+        """Run the PXE handshake for one node."""
+        image = self._per_mac.get(mac, self._default_image)
+        if image is None:
+            raise PxeError(
+                f"no boot image registered for {mac} and no default set"
+            )
+        lease = self.dhcp.offer(mac, hostname=hostname)
+        self.boot_log.append(f"{mac} -> {lease.ip} image={image.name}")
+        return PxeBootResult(
+            lease=lease, image=image, tftp_server_ip=self.dhcp.server_ip
+        )

@@ -1,0 +1,123 @@
+"""Topology builders: the standard cluster network shapes.
+
+The canonical paper topology is a dual-homed head node (Section 5.1): eth0
+on the campus/public network, eth1 on the private cluster segment with every
+compute node behind one switch.  :func:`build_cluster_network` wires a
+:class:`~repro.hardware.chassis.Machine` that way and returns the pieces the
+provisioner needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NetworkError
+from ..hardware.chassis import Machine
+from ..hardware.node import NodeRole
+from .dhcp import DhcpServer
+from .fabric import Endpoint, Fabric, Switch
+
+__all__ = ["ClusterNetwork", "build_cluster_network"]
+
+
+@dataclass
+class ClusterNetwork:
+    """A wired cluster: fabric + the frontend's DHCP on the private side."""
+
+    fabric: Fabric
+    private_switch: Switch
+    public_switch: Switch
+    dhcp: DhcpServer
+    machine: Machine
+
+    def private_hosts(self) -> list[str]:
+        """Hosts on the cluster segment (everything, incl. the frontend).
+
+        With a leaf/spine private side, hosts sit on the leaves; gather from
+        every private-side switch.
+        """
+        names: set[str] = set()
+        for switch_name in self.fabric.switch_names():
+            if switch_name.startswith("private"):
+                names.update(self.fabric.get_switch(switch_name).attached_hosts())
+        return sorted(names)
+
+    def compute_macs(self) -> list[str]:
+        """MACs of the compute nodes in slot order (insert-ethers order)."""
+        return [n.mac_address for n in self.machine.compute_nodes]
+
+
+def build_cluster_network(
+    machine: Machine,
+    *,
+    switch_ports: int = 24,
+    switch_latency_us: float = 5.0,
+) -> ClusterNetwork:
+    """Wire a machine into the standard dual-homed topology.
+
+    The frontend's first NIC goes to the public switch, its second to the
+    private side; every compute node's first NIC goes to the private side
+    ("only one of the two network interfaces will be used on compute
+    nodes", Section 5.1).  A frontend with fewer than two NICs is rejected.
+
+    Small clusters fit behind one private switch.  When the node count
+    exceeds one switch's ports, the private side becomes a leaf/spine: leaf
+    switches hold the nodes (one uplink port reserved per leaf) and a spine
+    joins them — campus-scale sites like Kansas's 220 nodes wire this way.
+    """
+    head = machine.head
+    if len(head.nics) < 2:
+        raise NetworkError(
+            f"{head.name}: dual-homed frontend needs 2 NICs, has {len(head.nics)}"
+        )
+    if switch_ports < 4:
+        raise NetworkError("switches need at least 4 ports")
+    fabric = Fabric()
+    public = fabric.add_switch(
+        Switch("public", ports=switch_ports, latency_us=switch_latency_us)
+    )
+    fabric.attach("public", Endpoint(head.name, head.nics[0], "eth0"))
+
+    endpoints_needed = 1 + len(machine.compute_nodes)  # head eth1 + computes
+    if endpoints_needed <= switch_ports:
+        private = fabric.add_switch(
+            Switch("private", ports=switch_ports, latency_us=switch_latency_us)
+        )
+        fabric.attach("private", Endpoint(head.name, head.nics[1], "eth1"))
+        for node in machine.compute_nodes:
+            fabric.attach("private", Endpoint(node.name, node.nics[0], "eth0"))
+    else:
+        per_leaf = switch_ports - 1  # one port per leaf reserved for uplink
+        leaf_count = -(-endpoints_needed // per_leaf)
+        spine = fabric.add_switch(
+            Switch(
+                "private",  # the spine carries the canonical name
+                ports=max(switch_ports, leaf_count),
+                latency_us=switch_latency_us,
+            )
+        )
+        leaves = []
+        for i in range(leaf_count):
+            leaf = fabric.add_switch(
+                Switch(f"private-leaf{i}", ports=switch_ports,
+                       latency_us=switch_latency_us)
+            )
+            fabric.connect_switches("private", leaf.name)
+            leaves.append(leaf)
+        attach_points = [
+            Endpoint(head.name, head.nics[1], "eth1")
+        ] + [
+            Endpoint(node.name, node.nics[0], "eth0")
+            for node in machine.compute_nodes
+        ]
+        for index, endpoint in enumerate(attach_points):
+            fabric.attach(leaves[index // per_leaf].name, endpoint)
+        private = spine
+
+    return ClusterNetwork(
+        fabric=fabric,
+        private_switch=private,
+        public_switch=public,
+        dhcp=DhcpServer(),
+        machine=machine,
+    )

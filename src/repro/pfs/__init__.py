@@ -1,0 +1,49 @@
+"""The parallel-filesystem substrate (Table 3's storage column): a
+Lustre-like MDS/OST model with striping, per-OST capacity, and an aggregate
+bandwidth model.
+
+:func:`montana_hyalite_storage` and :func:`hawaii_storage` build the two
+Table 3 storage systems as published.
+"""
+
+from .lustre import LustreFs, Ost, PfsError, PfsFile, StripeLayout
+
+__all__ = [
+    "LustreFs",
+    "Ost",
+    "PfsFile",
+    "StripeLayout",
+    "PfsError",
+    "montana_hyalite_storage",
+    "hawaii_storage",
+]
+
+
+def montana_hyalite_storage() -> LustreFs:
+    """Montana State's "300 TB of Lustre storage" (Table 3): 20 OSTs of
+    15 TB each behind the Hyalite cluster."""
+    return LustreFs(
+        "hyalite",
+        ost_count=20,
+        ost_capacity_bytes=15 * 10**12,
+        default_stripe_count=1,
+    )
+
+
+def hawaii_storage() -> tuple[LustreFs, LustreFs]:
+    """Pacific Basin's "40TB storage, 60TB scratch" (Table 3) as two
+    filesystems: persistent (4 x 10 TB) and scratch (6 x 10 TB, wider
+    default striping — scratch is for bandwidth)."""
+    persistent = LustreFs(
+        "pbarc-home",
+        ost_count=4,
+        ost_capacity_bytes=10 * 10**12,
+        default_stripe_count=1,
+    )
+    scratch = LustreFs(
+        "pbarc-scratch",
+        ost_count=6,
+        ost_capacity_bytes=10 * 10**12,
+        default_stripe_count=4,
+    )
+    return persistent, scratch

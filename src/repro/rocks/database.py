@@ -1,0 +1,101 @@
+"""The Rocks cluster database.
+
+"Using an internal database, Rocks can manage many compute nodes" (Section
+3).  The database tracks every appliance: name, MAC, IP, appliance type,
+rack/rank position, and install state — the table ``rocks list host`` shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import RocksError
+
+__all__ = ["InstallState", "HostRecord", "RocksDatabase"]
+
+
+class InstallState(str, Enum):
+    """Rocks' view of an appliance's lifecycle."""
+
+    DISCOVERED = "discovered"   # seen by insert-ethers, not yet installed
+    INSTALLING = "installing"   # kickstart in progress
+    INSTALLED = "os-installed"  # ready for jobs
+
+
+@dataclass
+class HostRecord:
+    """One row of the hosts table."""
+
+    name: str
+    mac: str
+    ip: str
+    appliance: str  # "frontend" | "compute"
+    rack: int
+    rank: int
+    state: InstallState = InstallState.DISCOVERED
+
+
+class RocksDatabase:
+    """The frontend's cluster database."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, HostRecord] = {}
+        self._by_mac: dict[str, HostRecord] = {}
+
+    def add_host(self, record: HostRecord) -> HostRecord:
+        """Register an appliance (name and MAC must both be new)."""
+        if record.name in self._by_name:
+            raise RocksError(f"host {record.name} already in database")
+        if record.mac in self._by_mac:
+            raise RocksError(f"MAC {record.mac} already in database")
+        self._by_name[record.name] = record
+        self._by_mac[record.mac] = record
+        return record
+
+    def remove_host(self, name: str) -> None:
+        """rocks remove host."""
+        record = self.get(name)
+        del self._by_name[name]
+        del self._by_mac[record.mac]
+
+    def get(self, name: str) -> HostRecord:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise RocksError(f"no host {name} in database") from None
+
+    def by_mac(self, mac: str) -> HostRecord:
+        try:
+            return self._by_mac[mac]
+        except KeyError:
+            raise RocksError(f"no host with MAC {mac} in database") from None
+
+    def has_mac(self, mac: str) -> bool:
+        return mac in self._by_mac
+
+    def hosts(self) -> list[HostRecord]:
+        """All records, frontend first then compute by (rack, rank)."""
+        return sorted(
+            self._by_name.values(),
+            key=lambda r: (r.appliance != "frontend", r.rack, r.rank),
+        )
+
+    def compute_hosts(self) -> list[HostRecord]:
+        return [r for r in self.hosts() if r.appliance == "compute"]
+
+    def known_macs(self) -> set[str]:
+        return set(self._by_mac)
+
+    def set_state(self, name: str, state: InstallState) -> None:
+        self.get(name).state = state
+
+    def next_compute_name(self, rack: int) -> str:
+        """The compute-<rack>-<rank> naming Rocks uses."""
+        ranks = [
+            r.rank
+            for r in self._by_name.values()
+            if r.appliance == "compute" and r.rack == rack
+        ]
+        rank = max(ranks) + 1 if ranks else 0
+        return f"compute-{rack}-{rank}"

@@ -1,0 +1,97 @@
+"""Update rolls: Rocks' preferred upgrade path (Section 3).
+
+"Once up and running, to maintain the package levels, you can enable the
+XSEDE Yum repository, then follow the Rocks instructions or use the
+preferred method and create an update roll to add to your distribution."
+
+An update roll is built by diffing an upstream repository (e.g. the XSEDE
+Yum repo) against a cluster's distribution: every package with a newer
+upstream EVR goes into the roll.  Applying the roll republshes the
+distribution and upgrades every node — keeping the cluster uniform, which is
+the point of doing it through Rocks rather than ad-hoc yum on each node.
+"""
+
+from __future__ import annotations
+
+from ..errors import RollError
+from ..rpm.package import Package
+from ..rpm.transaction import Transaction
+from ..yum.depsolver import resolve_update
+from ..yum.repository import Repository, RepoSet
+from .installer import ProvisionedCluster
+from .kickstart import Profile
+from .roll import Roll, RollGraphFragment
+
+__all__ = ["create_update_roll", "apply_update_roll"]
+
+
+def create_update_roll(
+    cluster: ProvisionedCluster,
+    upstream: Repository,
+    *,
+    name: str = "updates",
+    version: str = "1",
+) -> Roll:
+    """Diff ``upstream`` against the cluster distribution into a roll.
+
+    Only packages already in the distribution are considered (an update
+    roll updates; it does not introduce software).  Raises
+    :class:`RollError` when there is nothing to update — creating an empty
+    roll is an operator mistake worth surfacing.
+    """
+    updates: list[Package] = []
+    for pkg_name in sorted(cluster.distribution.names()):
+        current = cluster.distribution.latest(pkg_name)
+        if upstream.has(pkg_name):
+            candidate = upstream.latest(pkg_name)
+            if candidate.evr > current.evr:
+                updates.append(candidate)
+    if not updates:
+        raise RollError(
+            f"update roll {name!r}: distribution is already current with "
+            f"{upstream.repo_id}"
+        )
+    fragment = RollGraphFragment(
+        node_name=f"{name}-packages",
+        packages=tuple(p.name for p in updates),
+        attach_to=(Profile.FRONTEND, Profile.COMPUTE),
+    )
+    return Roll(
+        name=name,
+        version=version,
+        summary=f"update roll from {upstream.repo_id}",
+        packages=tuple(updates),
+        fragments=(fragment,),
+    )
+
+
+def apply_update_roll(cluster: ProvisionedCluster, roll: Roll) -> dict[str, int]:
+    """Publish an update roll into the distribution and upgrade every node.
+
+    Returns ``{host name: packages upgraded}``.  The roll also joins the
+    cluster's roll set and graph so future reinstalled nodes pick the new
+    versions up automatically.
+    """
+    for pkg in roll.packages:
+        if not any(
+            existing.nevra == pkg.nevra
+            for existing in cluster.distribution.versions_of(pkg.name)
+        ):
+            cluster.distribution.add(pkg)
+    roll.apply_to_graph(cluster.graph)
+    cluster.rolls[roll.name] = roll
+
+    repos = RepoSet([cluster.distribution])
+    counts: dict[str, int] = {}
+    for host in cluster.hosts():
+        db = cluster.db_for(host)
+        resolution = resolve_update(repos, db)
+        if resolution.is_empty():
+            counts[host.name] = 0
+            continue
+        txn = Transaction(db)
+        for pkg in resolution.to_install:
+            txn.upgrade(pkg)
+        result = txn.commit()
+        counts[host.name] = len(result.upgraded) + len(result.installed)
+    return counts

@@ -1,0 +1,76 @@
+"""insert-ethers: Rocks' node-discovery tool.
+
+The administrator runs ``insert-ethers`` on the frontend, powers compute
+nodes on one at a time, and each unknown MAC seen by dhcpd gets registered
+as the next ``compute-<rack>-<rank>`` appliance and handed the install
+image.  This module reproduces that loop against the simulated DHCP/PXE
+services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RocksError
+from ..network.dhcp import DhcpServer
+from ..network.pxe import BootImage, PxeServer
+from .database import HostRecord, InstallState, RocksDatabase
+
+__all__ = ["InsertEthers"]
+
+
+@dataclass
+class InsertEthers:
+    """The discovery session.
+
+    Parameters mirror the real tool: the appliance type being inserted
+    (compute by default) and the rack the nodes are in.
+    """
+
+    db: RocksDatabase
+    dhcp: DhcpServer
+    pxe: PxeServer
+    rack: int = 0
+    appliance: str = "compute"
+    discovered: list[HostRecord] = field(default_factory=list)
+
+    def poll(self) -> list[HostRecord]:
+        """One pass over the DHCP log: register every unknown MAC.
+
+        Returns the newly registered records (possibly empty).  Mirrors the
+        tool's behaviour of assigning names in the order MACs first appear.
+        """
+        new_records: list[HostRecord] = []
+        for mac in self.dhcp.unknown_macs(self.db.known_macs()):
+            name = self.db.next_compute_name(self.rack)
+            lease = self.dhcp.offer(mac, hostname=name)
+            rank = int(name.rsplit("-", 1)[1])
+            record = HostRecord(
+                name=name,
+                mac=mac,
+                ip=lease.ip,
+                appliance=self.appliance,
+                rack=self.rack,
+                rank=rank,
+                state=InstallState.DISCOVERED,
+            )
+            self.db.add_host(record)
+            new_records.append(record)
+            self.discovered.append(record)
+        return new_records
+
+    def discover_boot(self, mac: str) -> HostRecord:
+        """Drive one node's full discovery: PXE boot then register.
+
+        Raises :class:`RocksError` if the MAC is already known (re-running
+        insert-ethers against an installed node is an operator error the
+        real tool also refuses).
+        """
+        if self.db.has_mac(mac):
+            raise RocksError(f"MAC {mac} is already registered")
+        self.pxe.boot(mac)
+        records = self.poll()
+        for record in records:
+            if record.mac == mac:
+                return record
+        raise RocksError(f"discovery failed for MAC {mac}")  # pragma: no cover

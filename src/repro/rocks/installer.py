@@ -1,0 +1,313 @@
+"""The Rocks cluster installer: frontend first, then PXE'd compute nodes.
+
+This is the "all at once, from scratch" path (Abstract): pick rolls at
+install time, build the frontend, then power compute nodes on under
+insert-ethers.  Two paper-critical behaviours live here:
+
+* **Rocks does not support diskless installation** (Section 5.1) — the
+  installer refuses any node without a local drive, which is exactly why
+  the modified LittleFe adds an mSATA drive per node and why the diskless
+  Limulus compute nodes cannot take the XCBC-from-scratch path (they use
+  XNIT instead, Section 5.2);
+* the kickstart graph decides what lands on each appliance, so adding the
+  XSEDE roll changes every node built afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..distro.distribution import CENTOS_6_5, DistroRelease
+from ..distro.host import Host
+from ..errors import ProvisionError, RocksError
+from ..hardware.chassis import Machine
+from ..network.pxe import BootImage, PxeServer
+from ..network.topology import ClusterNetwork, build_cluster_network
+from ..rpm.database import RpmDatabase
+from ..rpm.transaction import Transaction
+from ..yum.depsolver import resolve_install
+from ..yum.repository import Repository, RepoSet
+from .database import HostRecord, InstallState, RocksDatabase
+from .insert_ethers import InsertEthers
+from .kickstart import GraphNode, KickstartGraph, Profile
+from .roll import Roll
+from .rolls_catalog import all_standard_rolls, base_os_packages, base_roll
+
+__all__ = ["ProvisionedCluster", "RocksInstaller", "install_cluster"]
+
+
+@dataclass
+class ProvisionedCluster:
+    """A fully installed Rocks cluster."""
+
+    machine: Machine
+    network: ClusterNetwork
+    release: DistroRelease
+    graph: KickstartGraph
+    distribution: Repository
+    rocksdb: RocksDatabase
+    frontend: Host
+    frontend_db: RpmDatabase
+    compute: dict[str, tuple[Host, RpmDatabase]] = field(default_factory=dict)
+    rolls: dict[str, Roll] = field(default_factory=dict)
+    scheduler_choice: str = "torque"
+
+    def hosts(self) -> list[Host]:
+        """Frontend first, then compute nodes in database order."""
+        out = [self.frontend]
+        for record in self.rocksdb.compute_hosts():
+            if record.name in self.compute:
+                out.append(self.compute[record.name][0])
+        return out
+
+    def db_for(self, host: Host) -> RpmDatabase:
+        """The RPM database of any cluster host."""
+        if host is self.frontend:
+            return self.frontend_db
+        for cand, db in self.compute.values():
+            if cand is host:
+                return db
+        raise RocksError(f"host {host.name} is not part of this cluster")
+
+    def installed_everywhere(self) -> set[str]:
+        """Package names present on every node (the cluster's uniform
+        software environment — the consistency XCBC is about)."""
+        common = set(self.frontend_db.names())
+        for _host, db in self.compute.values():
+            common &= db.names()
+        return common
+
+    def roll_names(self) -> list[str]:
+        return sorted(self.rolls)
+
+
+class RocksInstaller:
+    """Drives one from-scratch installation."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        rolls: list[Roll] | None = None,
+        scheduler: str = "torque",
+        release: DistroRelease = CENTOS_6_5,
+    ) -> None:
+        standard = all_standard_rolls()
+        if scheduler not in ("torque", "slurm", "sge"):
+            raise RocksError(f"unknown job-management roll {scheduler!r}")
+        self.machine = machine
+        self.release = release
+        self.scheduler = scheduler
+        selected: dict[str, Roll] = {"base": standard["base"], scheduler: standard[scheduler]}
+        for roll in rolls or []:
+            if roll.name in selected:
+                raise RocksError(f"roll {roll.name} selected twice")
+            selected[roll.name] = roll
+        self.rolls = selected
+
+    # -- validation ---------------------------------------------------------------
+
+    def _check_disks(self) -> None:
+        """Rocks refuses diskless nodes (Section 5.1)."""
+        diskless = [n.name for n in self.machine.nodes if n.diskless]
+        if diskless:
+            raise ProvisionError(
+                f"Rocks does not support diskless installation; nodes "
+                f"without drives: {diskless} (add a disk per node, as the "
+                f"modified LittleFe does, or integrate via XNIT instead)"
+            )
+
+    # -- build steps -----------------------------------------------------------------
+
+    def _build_graph(self) -> KickstartGraph:
+        graph = KickstartGraph()
+        graph.add_node(GraphNode(name=Profile.FRONTEND, roll="base"))
+        graph.add_node(GraphNode(name=Profile.COMPUTE, roll="base"))
+        os_node = GraphNode(
+            name="os-base",
+            packages=[p.name for p in base_os_packages(self.release)],
+            enable_services=["sshd", "crond"],
+            roll="os",
+        )
+        graph.add_node(os_node)
+        graph.add_edge(Profile.FRONTEND, "os-base")
+        graph.add_edge(Profile.COMPUTE, "os-base")
+        for roll in self.rolls.values():
+            roll.apply_to_graph(graph)
+        return graph
+
+    def _build_distribution(self) -> Repository:
+        """The frontend's local distribution: OS packages + roll packages."""
+        dist = Repository(
+            "rocks-dist",
+            name=f"Rocks {self.release.release_string} distribution",
+            priority=10,
+        )
+        dist.add_all(base_os_packages(self.release))
+        for roll in self.rolls.values():
+            for pkg in roll.packages:
+                if not any(
+                    existing.nevra == pkg.nevra
+                    for existing in dist.versions_of(pkg.name)
+                ):
+                    dist.add(pkg)
+        return dist
+
+    def _kickstart_host(
+        self,
+        host: Host,
+        graph: KickstartGraph,
+        distribution: Repository,
+        profile: str,
+    ) -> RpmDatabase:
+        """Install a profile's package closure onto a host and enable its
+        services — one node's kickstart."""
+        db = RpmDatabase(host)
+        repos = RepoSet([distribution])
+        wanted = graph.resolve_packages(profile)
+        resolution = resolve_install(wanted, repos, db)
+        txn = Transaction(db)
+        for pkg in resolution.to_install:
+            txn.install(pkg)
+        txn.commit()
+        for service in graph.resolve_services(profile):
+            host.services.enable(service)
+        host.services.boot()
+        for action in graph.resolve_actions(profile):
+            host.fs.write(
+                f"/var/log/rocks-post/{action.replace(' ', '-')}",
+                f"executed: {action}\n",
+            )
+        return db
+
+    # -- the install ------------------------------------------------------------------
+
+    def run(self) -> ProvisionedCluster:
+        """Perform the full installation and return the live cluster."""
+        self._check_disks()
+        graph = self._build_graph()
+        distribution = self._build_distribution()
+        network = build_cluster_network(self.machine)
+
+        # 1. Frontend install (from the install media, no PXE involved).
+        head = self.machine.head
+        frontend = Host(head, self.release)
+        frontend_db = self._kickstart_host(
+            frontend, graph, distribution, Profile.FRONTEND
+        )
+        rocksdb = RocksDatabase()
+        rocksdb.add_host(
+            HostRecord(
+                name=head.name,
+                mac=head.mac_address,
+                ip="10.1.1.1",
+                appliance="frontend",
+                rack=0,
+                rank=0,
+                state=InstallState.INSTALLED,
+            )
+        )
+
+        # 2. PXE infrastructure served by the frontend.
+        pxe = PxeServer(network.dhcp)
+        pxe.set_default_image(
+            BootImage(name="rocks-kickstart", kickstart_profile=Profile.COMPUTE)
+        )
+        inserter = InsertEthers(db=rocksdb, dhcp=network.dhcp, pxe=pxe)
+
+        cluster = ProvisionedCluster(
+            machine=self.machine,
+            network=network,
+            release=self.release,
+            graph=graph,
+            distribution=distribution,
+            rocksdb=rocksdb,
+            frontend=frontend,
+            frontend_db=frontend_db,
+            rolls=dict(self.rolls),
+            scheduler_choice=self.scheduler,
+        )
+
+        # 3. Power compute nodes on one at a time under insert-ethers.
+        for node in self.machine.compute_nodes:
+            record = inserter.discover_boot(node.mac_address)
+            rocksdb.set_state(record.name, InstallState.INSTALLING)
+            compute_host = Host(node, self.release)
+            compute_host.hostname = record.name
+            compute_db = self._kickstart_host(
+                compute_host, graph, distribution, Profile.COMPUTE
+            )
+            rocksdb.set_state(record.name, InstallState.INSTALLED)
+            pxe.clear_assignment(node.mac_address)
+            cluster.compute[record.name] = (compute_host, compute_db)
+        return cluster
+
+    def replace_node(
+        self, cluster: ProvisionedCluster, name: str, *, new_mac: str
+    ) -> Host:
+        """Swap a dead node's board: new MAC, rediscovery, fresh install.
+
+        The Rocks workflow for failed hardware: ``rocks remove host``, run
+        insert-ethers, power the replacement on.  The record keeps the same
+        compute-<rack>-<rank> name only if it is re-discovered first, so we
+        remove and re-register explicitly at the same rack/rank.
+        """
+        record = cluster.rocksdb.get(name)
+        if record.appliance != "compute":
+            raise RocksError("only compute nodes can be replaced")
+        node = next(
+            n for n in self.machine.compute_nodes if n.mac_address == record.mac
+        )
+        cluster.rocksdb.remove_host(name)
+        node.mac_address = new_mac  # the replacement board's NIC
+        node.powered_on = True
+        cluster.rocksdb.add_host(
+            HostRecord(
+                name=name,
+                mac=new_mac,
+                ip=record.ip,
+                appliance="compute",
+                rack=record.rack,
+                rank=record.rank,
+                state=InstallState.INSTALLING,
+            )
+        )
+        host = Host(node, self.release)
+        host.hostname = name
+        db = self._kickstart_host(
+            host, cluster.graph, cluster.distribution, Profile.COMPUTE
+        )
+        cluster.compute[name] = (host, db)
+        cluster.rocksdb.set_state(name, InstallState.INSTALLED)
+        return host
+
+    def reinstall_node(self, cluster: ProvisionedCluster, name: str) -> Host:
+        """Re-kickstart one compute node (Rocks' usual fix for drift)."""
+        record = cluster.rocksdb.get(name)
+        if record.appliance != "compute":
+            raise RocksError("only compute nodes can be reinstalled in place")
+        node = next(
+            n for n in self.machine.compute_nodes if n.mac_address == record.mac
+        )
+        cluster.rocksdb.set_state(name, InstallState.INSTALLING)
+        host = Host(node, self.release)
+        host.hostname = name
+        db = self._kickstart_host(
+            host, cluster.graph, cluster.distribution, Profile.COMPUTE
+        )
+        cluster.compute[name] = (host, db)
+        cluster.rocksdb.set_state(name, InstallState.INSTALLED)
+        return host
+
+
+def install_cluster(
+    machine: Machine,
+    *,
+    rolls: list[Roll] | None = None,
+    scheduler: str = "torque",
+    release: DistroRelease = CENTOS_6_5,
+) -> ProvisionedCluster:
+    """Convenience wrapper: build and run a :class:`RocksInstaller`."""
+    return RocksInstaller(
+        machine, rolls=rolls, scheduler=scheduler, release=release
+    ).run()

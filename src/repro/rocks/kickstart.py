@@ -1,0 +1,180 @@
+"""The Rocks kickstart graph.
+
+Rocks composes a node's install from a graph: appliance profiles (frontend,
+compute) are roots; edges pull in shared configuration nodes; each node
+contributes packages and post-install actions.  Rolls extend the graph by
+adding nodes and edges — that is what makes "adding the XSEDE roll during
+install" (Section 3) sufficient to change what every appliance gets.
+
+:class:`KickstartGraph` keeps the structure explicit and validates it:
+unknown endpoints and cycles raise :class:`KickstartError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import KickstartError
+
+__all__ = ["GraphNode", "KickstartGraph", "Profile"]
+
+
+@dataclass
+class GraphNode:
+    """One node of the kickstart graph."""
+
+    name: str
+    packages: list[str] = field(default_factory=list)
+    #: services enabled on hosts built from profiles that include this node
+    enable_services: list[str] = field(default_factory=list)
+    #: free-form post-install actions (recorded on the host for auditing)
+    post_actions: list[str] = field(default_factory=list)
+    roll: str = "base"
+
+
+class Profile:
+    """Appliance profile names Rocks uses."""
+
+    FRONTEND = "frontend"
+    COMPUTE = "compute"
+
+
+class KickstartGraph:
+    """Nodes + directed include edges, resolved per appliance profile."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, GraphNode] = {}
+        self._edges: dict[str, list[str]] = {}
+
+    def add_node(self, node: GraphNode) -> GraphNode:
+        """Add a graph node; re-adding merges package/service lists (rolls
+        may extend an existing node)."""
+        existing = self._nodes.get(node.name)
+        if existing is not None:
+            for pkg in node.packages:
+                if pkg not in existing.packages:
+                    existing.packages.append(pkg)
+            for svc in node.enable_services:
+                if svc not in existing.enable_services:
+                    existing.enable_services.append(svc)
+            existing.post_actions.extend(
+                a for a in node.post_actions if a not in existing.post_actions
+            )
+            return existing
+        self._nodes[node.name] = node
+        self._edges.setdefault(node.name, [])
+        return node
+
+    def add_edge(self, parent: str, child: str) -> None:
+        """``parent`` includes ``child``."""
+        for name in (parent, child):
+            if name not in self._nodes:
+                raise KickstartError(f"edge references unknown graph node {name!r}")
+        if parent == child:
+            raise KickstartError(f"self-edge on {parent!r}")
+        if child not in self._edges[parent]:
+            self._edges[parent].append(child)
+
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def node(self, name: str) -> GraphNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KickstartError(f"unknown graph node {name!r}") from None
+
+    def _closure(self, root: str) -> list[GraphNode]:
+        """DFS closure from ``root``; cycle detection via the grey set."""
+        if root not in self._nodes:
+            raise KickstartError(f"unknown profile {root!r}")
+        order: list[GraphNode] = []
+        black: set[str] = set()
+        grey: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in black:
+                return
+            if name in grey:
+                raise KickstartError(
+                    f"kickstart graph cycle through {name!r}"
+                )
+            grey.add(name)
+            for child in self._edges[name]:
+                visit(child)
+            grey.discard(name)
+            black.add(name)
+            order.append(self._nodes[name])
+
+        visit(root)
+        return order
+
+    def resolve_packages(self, profile: str) -> list[str]:
+        """All package names a profile pulls in (deduped, include order)."""
+        seen: set[str] = set()
+        out: list[str] = []
+        for node in self._closure(profile):
+            for pkg in node.packages:
+                if pkg not in seen:
+                    seen.add(pkg)
+                    out.append(pkg)
+        return out
+
+    def resolve_services(self, profile: str) -> list[str]:
+        """Services a profile enables."""
+        seen: set[str] = set()
+        out: list[str] = []
+        for node in self._closure(profile):
+            for svc in node.enable_services:
+                if svc not in seen:
+                    seen.add(svc)
+                    out.append(svc)
+        return out
+
+    def resolve_actions(self, profile: str) -> list[str]:
+        """Post-install actions in execution order."""
+        out: list[str] = []
+        for node in self._closure(profile):
+            out.extend(node.post_actions)
+        return out
+
+    def rolls_in(self, profile: str) -> set[str]:
+        """Names of the rolls contributing to a profile."""
+        return {n.roll for n in self._closure(profile)}
+
+    def render_kickstart(self, profile: str, *, release_string: str = "CentOS 6.5") -> str:
+        """Render the profile as an anaconda kickstart file.
+
+        This is what the frontend's kickstart server actually serves a
+        PXE-booted node (Rocks generates it from the graph with kpp/kgen);
+        the %packages section is the resolved package closure and %post
+        enables services and runs the graph's post actions.
+        """
+        packages = self.resolve_packages(profile)
+        services = self.resolve_services(profile)
+        actions = self.resolve_actions(profile)
+        lines = [
+            f"# Kickstart for appliance profile {profile!r} ({release_string})",
+            "# generated from the Rocks kickstart graph",
+            "install",
+            "url --url http://10.1.1.1/install/rocks-dist",
+            "lang en_US.UTF-8",
+            "keyboard us",
+            "rootpw --iscrypted $simulated$",
+            "clearpart --all --initlabel",
+            "autopart",
+            "reboot",
+            "",
+            "%packages",
+        ]
+        lines += packages
+        lines.append("%end")
+        lines.append("")
+        lines.append("%post")
+        for service in services:
+            lines.append(f"chkconfig {service} on")
+        for action in actions:
+            lines.append(f"# post action: {action}")
+            lines.append(f"/opt/rocks/post/{action.replace(' ', '-')}.sh")
+        lines.append("%end")
+        return "\n".join(lines)

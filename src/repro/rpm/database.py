@@ -1,0 +1,186 @@
+"""The installed-package database (``/var/lib/rpm`` of a host).
+
+Tracks which :class:`~repro.rpm.package.Package` objects are installed on a
+host and answers capability queries.  Mutation goes through
+:mod:`repro.rpm.transaction` — the DB's own ``_install_unchecked`` /
+``_erase_unchecked`` are the primitive operations transactions build on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..distro.host import Host
+from ..distro.modules_env import ModuleFile
+from ..errors import PackageNotFoundError, RpmError
+from .package import Capability, Package, Requirement
+
+__all__ = ["RpmDatabase"]
+
+
+class RpmDatabase:
+    """Installed packages of one host, with payload materialisation."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self._by_name: dict[str, Package] = {}
+
+    # -- queries ------------------------------------------------------------
+
+    def installed(self) -> list[Package]:
+        """All installed packages sorted by name."""
+        return [self._by_name[n] for n in sorted(self._by_name)]
+
+    def names(self) -> set[str]:
+        """Installed package names."""
+        return set(self._by_name)
+
+    def has(self, name: str) -> bool:
+        """rpm -q: is a package with this name installed?"""
+        return name in self._by_name
+
+    def get(self, name: str) -> Package:
+        """Fetch an installed package by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise PackageNotFoundError(
+                f"{self.host.name}: package {name} is not installed"
+            ) from None
+
+    def providers_of(self, req: Requirement) -> list[Package]:
+        """Installed packages satisfying ``req``."""
+        return [p for p in self.installed() if p.satisfies(req)]
+
+    def is_satisfied(self, req: Requirement) -> bool:
+        """True if some installed package satisfies ``req``."""
+        return any(p.satisfies(req) for p in self._by_name.values())
+
+    def unsatisfied_requirements(self) -> list[tuple[Package, Requirement]]:
+        """Integrity check: every requirement of every installed package that
+        no installed package satisfies.  A healthy DB returns ``[]``."""
+        broken = []
+        for pkg in self.installed():
+            for req in pkg.requires:
+                if not self.is_satisfied(req):
+                    broken.append((pkg, req))
+        return broken
+
+    def verify(self, name: str) -> list[str]:
+        """``rpm -V``: check a package's payload against the filesystem.
+
+        Returns a list of discrepancies (missing paths, replaced content —
+        detected via ownership changes), empty when the package is intact.
+        Drift found here is what :meth:`RocksInstaller.reinstall_node` is
+        for.
+        """
+        pkg = self.get(name)
+        problems: list[str] = []
+        for path in pkg.default_paths():
+            if not self.host.fs.exists(path):
+                problems.append(f"missing   {path}")
+                continue
+            node = self.host.fs.get(path)
+            if node.owner_package != pkg.name:
+                problems.append(
+                    f"replaced  {path} (now owned by {node.owner_package})"
+                )
+        for service in pkg.services:
+            try:
+                record = self.host.services.get(service)
+            except Exception:
+                problems.append(f"unregistered service {service}")
+                continue
+            if record.package != pkg.name:
+                problems.append(
+                    f"service {service} re-owned by {record.package}"
+                )
+        return problems
+
+    def verify_all(self) -> dict[str, list[str]]:
+        """``rpm -Va``: verify every installed package; only packages with
+        discrepancies appear in the result."""
+        out: dict[str, list[str]] = {}
+        for pkg in self.installed():
+            problems = self.verify(pkg.name)
+            if problems:
+                out[pkg.name] = problems
+        return out
+
+    def whatrequires(self, name: str) -> list[Package]:
+        """Installed packages whose requirements are satisfied *only* through
+        capabilities of ``name`` (i.e. erasing ``name`` would break them)."""
+        target = self._by_name.get(name)
+        if target is None:
+            return []
+        dependants = []
+        others = [p for p in self._by_name.values() if p.name != name]
+        for pkg in others:
+            for req in pkg.requires:
+                if target.satisfies(req) and not any(
+                    o.satisfies(req) for o in others if o.name != pkg.name
+                ):
+                    dependants.append(pkg)
+                    break
+        return sorted(dependants, key=lambda p: p.name)
+
+    # -- primitive mutations (used by the transaction layer) ---------------------
+
+    def _install_unchecked(self, pkg: Package) -> None:
+        """Install a package and materialise its payload (no dep checking)."""
+        if pkg.name in self._by_name:
+            raise RpmError(
+                f"{self.host.name}: package {pkg.name} is already installed "
+                f"({self._by_name[pkg.name].nevra})"
+            )
+        self._by_name[pkg.name] = pkg
+        for path in pkg.files:
+            self.host.fs.write(path, f"payload of {pkg.nevra}", owner=pkg.name)
+        for command in pkg.commands:
+            self.host.fs.write(
+                f"/usr/bin/{command}",
+                f"#!ELF {command} from {pkg.nevra}",
+                owner=pkg.name,
+                mode=0o755,
+            )
+        for lib in pkg.libraries:
+            self.host.fs.write(
+                f"/usr/lib64/{lib}", f"shared object from {pkg.nevra}", owner=pkg.name
+            )
+        for service in pkg.services:
+            self.host.services.register(service, package=pkg.name)
+        if pkg.modulefile:
+            name, _, version = pkg.modulefile.partition("/")
+            self.host.modules.install(
+                ModuleFile(
+                    name=name,
+                    version=version or pkg.version,
+                    prepend_path=(("PATH", f"/opt/{name}/bin"),),
+                    whatis=pkg.summary or pkg.name,
+                )
+            )
+            self.host.fs.write(
+                f"/etc/modulefiles/{name}/{version or pkg.version}",
+                f"#%Module for {pkg.nevra}",
+                owner=pkg.name,
+            )
+
+    def _erase_unchecked(self, name: str) -> Package:
+        """Erase a package and its payload (no dependant checking)."""
+        pkg = self.get(name)
+        del self._by_name[name]
+        self.host.fs.remove_owned(name)
+        self.host.services.unregister_package(name)
+        if pkg.modulefile:
+            mname, _, mversion = pkg.modulefile.partition("/")
+            try:
+                self.host.modules.remove(mname, mversion or pkg.version)
+            except Exception:
+                pass  # modulefile may have been replaced by an upgrade
+        return pkg
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name

@@ -1,0 +1,151 @@
+"""A minimal spec-file dialect and builder.
+
+XNIT's packages are ordinary RPMs built from spec files; the update-roll
+path (Section 3) likewise repackages RPMs.  We support a small declarative
+dialect sufficient to define the Tables 1-2 catalogue in data files or tests:
+
+.. code-block:: text
+
+    Name: gromacs
+    Version: 4.6.5
+    Release: 2
+    Summary: Molecular dynamics package
+    Category: Scientific Applications
+    Requires: openmpi >= 1.6
+    Requires: fftw
+    Provides: gromacs-engine = 4.6.5
+    Command: gmx
+    Library: libgromacs.so.8
+    Module: gromacs/4.6.5
+
+Unknown directives raise — silent typos in dependency metadata are exactly
+how real repositories rot.
+"""
+
+from __future__ import annotations
+
+from ..errors import RpmError
+from .package import Capability, Flag, Package, Requirement
+
+__all__ = ["parse_spec", "build_spec"]
+
+_FLAGS = {f.value: f for f in Flag if f is not Flag.ANY}
+
+
+def _parse_dep(text: str) -> tuple[str, Flag, str]:
+    """Parse ``name [op version]`` into components."""
+    parts = text.split()
+    if len(parts) == 1:
+        return parts[0], Flag.ANY, ""
+    if len(parts) == 3 and parts[1] in _FLAGS:
+        return parts[0], _FLAGS[parts[1]], parts[2]
+    raise RpmError(f"malformed dependency: {text!r}")
+
+
+def parse_spec(text: str) -> Package:
+    """Parse the spec dialect into a :class:`Package`."""
+    fields: dict[str, str] = {}
+    requires: list[Requirement] = []
+    conflicts: list[Requirement] = []
+    obsoletes: list[Requirement] = []
+    provides: list[Capability] = []
+    commands: list[str] = []
+    libraries: list[str] = []
+    services: list[str] = []
+    files: list[str] = []
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if ":" not in line:
+            raise RpmError(f"spec line {lineno}: missing ':' in {line!r}")
+        key, _, value = line.partition(":")
+        key = key.strip().lower()
+        value = value.strip()
+        if not value:
+            raise RpmError(f"spec line {lineno}: empty value for {key!r}")
+        if key == "requires":
+            name, flag, ver = _parse_dep(value)
+            requires.append(Requirement(name, flag, ver))
+        elif key == "conflicts":
+            name, flag, ver = _parse_dep(value)
+            conflicts.append(Requirement(name, flag, ver))
+        elif key == "obsoletes":
+            name, flag, ver = _parse_dep(value)
+            obsoletes.append(Requirement(name, flag, ver))
+        elif key == "provides":
+            name, flag, ver = _parse_dep(value)
+            if flag not in (Flag.ANY, Flag.EQ):
+                raise RpmError(f"spec line {lineno}: provides must use '=' or none")
+            provides.append(Capability(name, ver))
+        elif key == "command":
+            commands.append(value)
+        elif key == "library":
+            libraries.append(value)
+        elif key == "service":
+            services.append(value)
+        elif key == "file":
+            files.append(value)
+        elif key in ("name", "version", "release", "epoch", "summary",
+                     "category", "module", "arch", "size"):
+            if key in fields:
+                raise RpmError(f"spec line {lineno}: duplicate {key!r}")
+            fields[key] = value
+        else:
+            raise RpmError(f"spec line {lineno}: unknown directive {key!r}")
+
+    if "name" not in fields or "version" not in fields:
+        raise RpmError("spec must define Name and Version")
+    return Package(
+        name=fields["name"],
+        version=fields["version"],
+        release=fields.get("release", "1"),
+        epoch=int(fields.get("epoch", "0")),
+        arch=fields.get("arch", "x86_64"),
+        summary=fields.get("summary", ""),
+        category=fields.get("category", ""),
+        size_bytes=int(fields.get("size", str(1024 * 1024))),
+        provides=tuple(provides),
+        requires=tuple(requires),
+        conflicts=tuple(conflicts),
+        obsoletes=tuple(obsoletes),
+        files=tuple(files),
+        commands=tuple(commands),
+        libraries=tuple(libraries),
+        services=tuple(services),
+        modulefile=fields.get("module", ""),
+    )
+
+
+def build_spec(pkg: Package) -> str:
+    """Render a :class:`Package` back to the spec dialect (round-trips)."""
+    lines = [f"Name: {pkg.name}", f"Version: {pkg.version}", f"Release: {pkg.release}"]
+    if pkg.epoch:
+        lines.append(f"Epoch: {pkg.epoch}")
+    if pkg.arch != "x86_64":
+        lines.append(f"Arch: {pkg.arch}")
+    if pkg.summary:
+        lines.append(f"Summary: {pkg.summary}")
+    if pkg.category:
+        lines.append(f"Category: {pkg.category}")
+    lines.append(f"Size: {pkg.size_bytes}")
+    for cap in pkg.provides:
+        lines.append(f"Provides: {cap.name} = {cap.version}" if cap.version else f"Provides: {cap.name}")
+    for req in pkg.requires:
+        lines.append(f"Requires: {req}")
+    for req in pkg.conflicts:
+        lines.append(f"Conflicts: {req}")
+    for req in pkg.obsoletes:
+        lines.append(f"Obsoletes: {req}")
+    for c in pkg.commands:
+        lines.append(f"Command: {c}")
+    for lib in pkg.libraries:
+        lines.append(f"Library: {lib}")
+    for s in pkg.services:
+        lines.append(f"Service: {s}")
+    for f in pkg.files:
+        lines.append(f"File: {f}")
+    if pkg.modulefile:
+        lines.append(f"Module: {pkg.modulefile}")
+    return "\n".join(lines) + "\n"

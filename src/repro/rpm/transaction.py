@@ -1,0 +1,267 @@
+"""RPM transaction sets: validated, ordered, atomic install/erase/upgrade.
+
+Yum builds a transaction, resolves it, *then* runs it — and a failed
+transaction must leave the system untouched (Section 3's warning about
+automatic updates causing "unexpected behavior" is exactly about transactions
+that succeed mechanically but break expectations; the mechanical layer at
+least must be atomic).
+
+Rules enforced by :meth:`Transaction.check`:
+
+* nothing installed twice; erases must name installed packages;
+* after the transaction, every requirement of every remaining package is
+  satisfied (no broken deps — including deps broken by erases);
+* no two packages in the final set conflict;
+* upgrades replace an older EVR with a strictly newer one (downgrades are
+  refused unless ``allow_downgrade``).
+
+:meth:`Transaction.commit` orders installs topologically (dependencies
+first; dependency cycles are co-installed in name order) and rolls back on
+any mid-commit failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConflictError, DependencyError, TransactionError
+from .database import RpmDatabase
+from .package import Package, Requirement
+
+__all__ = ["Transaction", "TransactionResult"]
+
+
+@dataclass
+class TransactionResult:
+    """What a committed transaction did, in execution order."""
+
+    erased: list[Package] = field(default_factory=list)
+    installed: list[Package] = field(default_factory=list)
+    upgraded: list[tuple[Package, Package]] = field(default_factory=list)  # (old, new)
+    #: paths a new package wrote over another installed package's file
+    #: (``path (old-owner -> new-owner)``).  Real RPM refuses these outright;
+    #: we record them instead because retrofit scenarios (XNIT torque over a
+    #: vendor scheduler) depend on the replace-and-tell behaviour — but a
+    #: silent conflict is how clusters rot, so it is never silent.
+    file_conflicts: list[str] = field(default_factory=list)
+
+    @property
+    def change_count(self) -> int:
+        return len(self.erased) + len(self.installed) + len(self.upgraded)
+
+    def summary(self) -> str:
+        """A yum-style one-line summary."""
+        return (
+            f"Install {len(self.installed)} Package(s); "
+            f"Upgrade {len(self.upgraded)} Package(s); "
+            f"Erase {len(self.erased)} Package(s)"
+        )
+
+
+class Transaction:
+    """One pending transaction against a host's RPM database."""
+
+    def __init__(self, db: RpmDatabase, *, allow_downgrade: bool = False) -> None:
+        self.db = db
+        self.allow_downgrade = allow_downgrade
+        self._installs: dict[str, Package] = {}
+        self._erases: set[str] = set()
+
+    # -- building --------------------------------------------------------------
+
+    def install(self, pkg: Package) -> "Transaction":
+        """Queue a fresh install (or an upgrade if the name is installed)."""
+        if pkg.name in self._installs:
+            existing = self._installs[pkg.name]
+            if existing.nevra != pkg.nevra:
+                raise TransactionError(
+                    f"transaction already installs {existing.nevra}; "
+                    f"cannot also install {pkg.nevra}"
+                )
+            return self
+        self._installs[pkg.name] = pkg
+        return self
+
+    def erase(self, name: str) -> "Transaction":
+        """Queue an erase of an installed package."""
+        self._erases.add(name)
+        return self
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._installs and not self._erases
+
+    # -- validation --------------------------------------------------------------
+
+    def _final_set(self) -> dict[str, Package]:
+        """The package set that will be installed after commit."""
+        final = {
+            name: pkg
+            for name, pkg in ((p.name, p) for p in self.db.installed())
+            if name not in self._erases and name not in self._installs
+        }
+        final.update(self._installs)
+        return final
+
+    def check(self) -> list[str]:
+        """Validate; returns a list of human-readable problems (empty = ok)."""
+        problems: list[str] = []
+        host_arch = self.db.host.arch
+        for name, pkg in sorted(self._installs.items()):
+            if pkg.arch not in ("noarch", host_arch):
+                problems.append(
+                    f"{pkg.nevra} is built for {pkg.arch} but this host is "
+                    f"{host_arch}"
+                )
+        for name in sorted(self._erases):
+            if not self.db.has(name) and name not in self._installs:
+                problems.append(f"cannot erase {name}: not installed")
+        for name, pkg in sorted(self._installs.items()):
+            if self.db.has(name) and name not in self._erases:
+                old = self.db.get(name)
+                if old.nevra == pkg.nevra:
+                    problems.append(f"{pkg.nevra} is already installed")
+                else:
+                    problems.append(
+                        f"{name} is installed ({old.evr_string}); upgrade via "
+                        f"erase+install or Transaction.upgrade"
+                    )
+        final = self._final_set()
+        # Dependency closure of the final state.
+        for pkg in sorted(final.values(), key=lambda p: p.name):
+            for req in pkg.requires:
+                if not any(p.satisfies(req) for p in final.values()):
+                    problems.append(
+                        f"{pkg.nevra} requires {req} which nothing provides"
+                    )
+        # Pairwise conflicts among final packages that declare any.
+        declaring = [p for p in final.values() if p.conflicts]
+        for pkg in sorted(declaring, key=lambda p: p.name):
+            for other in sorted(final.values(), key=lambda p: p.name):
+                if other.name != pkg.name and pkg.conflicts_with(other):
+                    problems.append(f"{pkg.nevra} conflicts with {other.nevra}")
+        return problems
+
+    def upgrade(self, pkg: Package) -> "Transaction":
+        """Queue an in-place upgrade: erase old EVR, install the new one."""
+        if not self.db.has(pkg.name):
+            # yum semantics: upgrade of a not-installed package installs it.
+            return self.install(pkg)
+        old = self.db.get(pkg.name)
+        if not pkg.is_newer_than(old) and not self.allow_downgrade:
+            raise TransactionError(
+                f"{pkg.nevra} is not newer than installed {old.nevra} "
+                f"(pass allow_downgrade to force)"
+            )
+        self.erase(pkg.name)
+        return self.install(pkg)
+
+    # -- ordering --------------------------------------------------------------
+
+    def _install_order(self) -> list[Package]:
+        """Topological order of queued installs: dependencies first.
+
+        Edges run provider -> dependant, considering only providers inside
+        this transaction (already-installed providers impose no ordering).
+        Kahn's algorithm with name-sorted tie-breaking keeps the order
+        deterministic; any cycle remainder is co-installed in name order.
+        """
+        pkgs = self._installs
+        dependants: dict[str, set[str]] = {n: set() for n in pkgs}
+        indegree: dict[str, int] = {n: 0 for n in pkgs}
+        for name, pkg in pkgs.items():
+            for req in pkg.requires:
+                for provider_name, provider in pkgs.items():
+                    if provider_name != name and provider.satisfies(req):
+                        if name not in dependants[provider_name]:
+                            dependants[provider_name].add(name)
+                            indegree[name] += 1
+        ready = sorted(n for n, d in indegree.items() if d == 0)
+        order: list[Package] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(pkgs[current])
+            newly_ready = []
+            for child in dependants[current]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    newly_ready.append(child)
+            ready = sorted(ready + newly_ready)
+        if len(order) < len(pkgs):
+            # Cycle: co-install the remainder deterministically.
+            remaining = sorted(set(pkgs) - {p.name for p in order})
+            order.extend(pkgs[n] for n in remaining)
+        return order
+
+    # -- commit ----------------------------------------------------------------
+
+    def commit(self) -> TransactionResult:
+        """Validate, order, and execute; atomic on failure.
+
+        Raises :class:`DependencyError` / :class:`ConflictError` /
+        :class:`TransactionError` (by problem type) without touching the DB
+        if validation fails.  If a primitive operation fails mid-commit
+        (injectable in tests), already-applied operations are rolled back
+        before the error propagates.
+        """
+        if self.is_empty:
+            raise TransactionError("empty transaction")
+        problems = self.check()
+        if problems:
+            text = "; ".join(problems)
+            if any("requires" in p for p in problems):
+                raise DependencyError(f"transaction check failed: {text}")
+            if any("conflicts" in p for p in problems):
+                raise ConflictError(f"transaction check failed: {text}")
+            raise TransactionError(f"transaction check failed: {text}")
+
+        result = TransactionResult()
+        upgrades_old: dict[str, Package] = {}
+        done_erases: list[Package] = []
+        done_installs: list[Package] = []
+        # Detect cross-package file conflicts before touching anything:
+        # paths an incoming package will write that are currently owned by a
+        # package that is neither being erased nor the same name.
+        fs = self.db.host.fs
+        for pkg in self._installs.values():
+            for path in pkg.default_paths():
+                if fs.exists(path):
+                    owner = fs.get(path).owner_package
+                    if (
+                        owner
+                        and owner != pkg.name
+                        and owner not in self._erases
+                        and self.db.has(owner)
+                    ):
+                        result.file_conflicts.append(
+                            f"{path} ({owner} -> {pkg.name})"
+                        )
+        try:
+            for name in sorted(self._erases):
+                old = self.db._erase_unchecked(name)
+                done_erases.append(old)
+                if name in self._installs:
+                    upgrades_old[name] = old
+                else:
+                    result.erased.append(old)
+            for pkg in self._install_order():
+                self.db._install_unchecked(pkg)
+                done_installs.append(pkg)
+                if pkg.name in upgrades_old:
+                    result.upgraded.append((upgrades_old[pkg.name], pkg))
+                else:
+                    result.installed.append(pkg)
+        except Exception as exc:
+            # Roll back in reverse order.
+            for pkg in reversed(done_installs):
+                try:
+                    self.db._erase_unchecked(pkg.name)
+                except Exception:  # pragma: no cover - rollback best effort
+                    pass
+            for old in reversed(done_erases):
+                try:
+                    self.db._install_unchecked(old)
+                except Exception:  # pragma: no cover
+                    pass
+            raise TransactionError(f"transaction failed and was rolled back: {exc}") from exc
+        return result

@@ -1,0 +1,28 @@
+"""Batch schedulers: Torque (FIFO), Torque+Maui (priority + EASY backfill),
+SLURM-like (multifactor priority), SGE-like (functional tickets), and the
+Limulus power-managed variant.
+"""
+
+from .base import BaseScheduler, ClusterResources, SchedulerStats
+from .job import Allocation, Job, JobState
+from .power_mgmt import EnergyReport, PowerManagedScheduler, PowerWindow
+from .sge import SgeScheduler
+from .slurm import MultifactorWeights, SlurmScheduler
+from .torque import MauiScheduler, TorqueScheduler
+
+__all__ = [
+    "Job",
+    "JobState",
+    "Allocation",
+    "ClusterResources",
+    "BaseScheduler",
+    "SchedulerStats",
+    "TorqueScheduler",
+    "MauiScheduler",
+    "SlurmScheduler",
+    "MultifactorWeights",
+    "SgeScheduler",
+    "PowerManagedScheduler",
+    "EnergyReport",
+    "PowerWindow",
+]

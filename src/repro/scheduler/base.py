@@ -1,0 +1,299 @@
+"""The event-driven scheduling core shared by all three schedulers.
+
+A :class:`ClusterResources` tracks free cores per node (built from a
+:class:`~repro.hardware.chassis.Machine`); :class:`BaseScheduler` owns the
+event loop: advance simulated time to the next job completion, free its
+cores, then let the policy (:meth:`_schedulable_order`, plus optional
+backfill) start pending jobs.
+
+Invariants (tested property-style):
+
+* a node's allocated cores never exceed its core count;
+* a job runs exactly once and ends at ``start + charged_runtime``;
+* jobs over their walltime limit are killed at the limit and FAILED.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..errors import SchedulerError
+from ..hardware.chassis import Machine
+from .job import Allocation, Job, JobState
+
+__all__ = ["ClusterResources", "BaseScheduler", "SchedulerStats"]
+
+
+class ClusterResources:
+    """Free-core accounting over a machine's nodes."""
+
+    def __init__(self, machine: Machine, *, use_head_for_jobs: bool = False):
+        # By XSEDE convention compute jobs stay off the frontend.
+        nodes = machine.nodes if use_head_for_jobs else machine.compute_nodes
+        if not nodes:
+            raise SchedulerError(f"{machine.name}: no compute nodes to schedule on")
+        self._capacity: dict[str, int] = {n.name: n.cores for n in nodes}
+        self._free: dict[str, int] = dict(self._capacity)
+        self._offline: set[str] = set()
+
+    @property
+    def total_cores(self) -> int:
+        """Cores on all (online + offline) nodes."""
+        return sum(self._capacity.values())
+
+    @property
+    def online_cores(self) -> int:
+        """Cores on online nodes."""
+        return sum(
+            c for n, c in self._capacity.items() if n not in self._offline
+        )
+
+    def free_cores(self) -> int:
+        """Currently unallocated cores on online nodes."""
+        return sum(c for n, c in self._free.items() if n not in self._offline)
+
+    def node_names(self) -> list[str]:
+        return sorted(self._capacity)
+
+    def capacity_of(self, node: str) -> int:
+        try:
+            return self._capacity[node]
+        except KeyError:
+            raise SchedulerError(f"unknown node {node}") from None
+
+    def free_of(self, node: str) -> int:
+        self.capacity_of(node)
+        return 0 if node in self._offline else self._free[node]
+
+    def set_offline(self, node: str, offline: bool) -> None:
+        """Mark a node offline/online (power management uses this).
+
+        A node with allocated cores cannot go offline.
+        """
+        self.capacity_of(node)
+        if offline:
+            if self._free[node] != self._capacity[node]:
+                raise SchedulerError(f"node {node} is busy; cannot take offline")
+            self._offline.add(node)
+        else:
+            self._offline.discard(node)
+
+    def is_offline(self, node: str) -> bool:
+        return node in self._offline
+
+    def try_allocate(self, cores: int) -> Allocation | None:
+        """First-fit-decreasing allocation across online nodes, or None.
+
+        Packs the fullest nodes first to keep fragmentation low (what Maui's
+        node-allocation policy does by default for core-scheduled clusters).
+        """
+        if cores <= 0:
+            raise SchedulerError(f"cannot allocate {cores} cores")
+        chunks: list[tuple[str, int]] = []
+        remaining = cores
+        candidates = sorted(
+            (n for n in self._capacity if n not in self._offline and self._free[n] > 0),
+            key=lambda n: (-self._free[n], n),
+        )
+        for node in candidates:
+            take = min(self._free[node], remaining)
+            chunks.append((node, take))
+            remaining -= take
+            if remaining == 0:
+                break
+        if remaining > 0:
+            return None
+        for node, take in chunks:
+            self._free[node] -= take
+        return Allocation(by_node=tuple(chunks))
+
+    def release(self, allocation: Allocation) -> None:
+        """Return an allocation's cores."""
+        for node, count in allocation.by_node:
+            self.capacity_of(node)
+            if self._free[node] + count > self._capacity[node]:
+                raise SchedulerError(
+                    f"double free on node {node}: {self._free[node]}+{count} "
+                    f"> {self._capacity[node]}"
+                )
+            self._free[node] += count
+
+    def busy_nodes(self) -> list[str]:
+        """Nodes with at least one allocated core."""
+        return sorted(
+            n
+            for n in self._capacity
+            if n not in self._offline and self._free[n] < self._capacity[n]
+        )
+
+    def idle_nodes(self) -> list[str]:
+        """Online nodes with all cores free."""
+        return sorted(
+            n
+            for n in self._capacity
+            if n not in self._offline and self._free[n] == self._capacity[n]
+        )
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate outcomes of a completed simulation."""
+
+    completed: int = 0
+    failed: int = 0
+    makespan_s: float = 0.0
+    total_core_seconds: float = 0.0
+    total_wait_s: float = 0.0
+    job_count: int = 0
+
+    @property
+    def mean_wait_s(self) -> float:
+        return self.total_wait_s / self.job_count if self.job_count else 0.0
+
+    def utilization(self, total_cores: int) -> float:
+        """Delivered core-seconds over available core-seconds."""
+        available = total_cores * self.makespan_s
+        return self.total_core_seconds / available if available > 0 else 0.0
+
+
+class BaseScheduler:
+    """Event-driven scheduler core.
+
+    Subclasses set :attr:`scheduler_name` and override
+    :meth:`_schedulable_order` (queue policy) and :attr:`backfill`.
+    """
+
+    scheduler_name = "base"
+    #: EASY backfill: allow jobs to jump the queue if they finish before the
+    #: head job's reservation would start.
+    backfill = False
+
+    def __init__(self, resources: ClusterResources) -> None:
+        self.resources = resources
+        self.now_s = 0.0
+        self.pending: list[Job] = []
+        self.running: list[Job] = []
+        self.finished: list[Job] = []
+        self._events: list[tuple[float, int, Job]] = []  # (end time, id, job)
+        #: hook called whenever cores free up (power manager listens here)
+        self.on_idle_change = None
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        """qsub/sbatch: enqueue a job at the current simulated time."""
+        if job.state is not JobState.PENDING:
+            raise SchedulerError(f"job {job.name} was already submitted")
+        if job.cores > self.resources.total_cores:
+            raise SchedulerError(
+                f"job {job.name} requests {job.cores} cores but the cluster "
+                f"has only {self.resources.total_cores}"
+            )
+        job.submit_time_s = self.now_s
+        self.pending.append(job)
+        self._try_start_jobs()
+        return job
+
+    def cancel(self, job: Job) -> None:
+        """qdel a pending job (running jobs run to completion here)."""
+        if job in self.pending:
+            self.pending.remove(job)
+            job.state = JobState.CANCELLED
+            self.finished.append(job)
+        else:
+            raise SchedulerError(f"job {job.name} is not pending")
+
+    # -- policy ------------------------------------------------------------------
+
+    def _schedulable_order(self) -> list[Job]:
+        """Pending jobs in the order the policy wants to start them."""
+        raise NotImplementedError
+
+    # -- engine -------------------------------------------------------------------
+
+    def _start(self, job: Job, allocation: Allocation) -> None:
+        job.state = JobState.RUNNING
+        job.start_time_s = self.now_s
+        job.allocation = allocation
+        job.end_time_s = self.now_s + job.charged_runtime_s
+        self.pending.remove(job)
+        self.running.append(job)
+        heapq.heappush(self._events, (job.end_time_s, job.job_id, job))
+
+    def _earliest_start_for_head(self) -> float:
+        """When the queue-head job could start, given running jobs end on
+        schedule — the EASY-backfill reservation point."""
+        order = self._schedulable_order()
+        if not order:
+            return self.now_s
+        head = order[0]
+        free = self.resources.free_cores()
+        if free >= head.cores:
+            return self.now_s
+        ends = sorted((j.end_time_s or 0.0, j.cores) for j in self.running)
+        for end_time, cores in ends:
+            free += cores
+            if free >= head.cores:
+                return end_time
+        return float("inf")
+
+    def _try_start_jobs(self) -> None:
+        """Start everything the policy allows right now."""
+        progress = True
+        while progress:
+            progress = False
+            order = self._schedulable_order()
+            # The head's reservation must be computed BEFORE any tentative
+            # allocation, or the backfill check reads corrupted free counts.
+            reservation = self._earliest_start_for_head()
+            for index, job in enumerate(order):
+                if index > 0 and not self.backfill:
+                    # Strict FIFO: only the head may start.
+                    break
+                if index > 0 and self.backfill:
+                    # EASY: a backfilled job must not delay the head.
+                    if self.now_s + job.charged_runtime_s > reservation:
+                        continue
+                allocation = self.resources.try_allocate(job.cores)
+                if allocation is not None:
+                    self._start(job, allocation)
+                    progress = True
+                    break
+
+    def step(self) -> bool:
+        """Advance to the next completion event; returns False when idle."""
+        if not self._events:
+            return False
+        end_time, _jid, job = heapq.heappop(self._events)
+        self.now_s = end_time
+        self.running.remove(job)
+        assert job.allocation is not None
+        self.resources.release(job.allocation)
+        job.state = JobState.FAILED if job.exceeded_walltime else JobState.COMPLETED
+        self.finished.append(job)
+        if self.on_idle_change is not None:
+            self.on_idle_change(self)
+        self._try_start_jobs()
+        return True
+
+    def run_to_completion(self) -> SchedulerStats:
+        """Drain the queue and return aggregate statistics."""
+        while self.step():
+            pass
+        if self.pending:
+            raise SchedulerError(
+                f"{len(self.pending)} job(s) stuck pending (policy bug?)"
+            )
+        stats = SchedulerStats()
+        real_jobs = [j for j in self.finished if j.state is not JobState.CANCELLED]
+        for job in real_jobs:
+            stats.job_count += 1
+            stats.total_wait_s += job.wait_time_s
+            stats.total_core_seconds += job.core_seconds
+            if job.state is JobState.COMPLETED:
+                stats.completed += 1
+            else:
+                stats.failed += 1
+            stats.makespan_s = max(stats.makespan_s, job.end_time_s or 0.0)
+        return stats

@@ -1,0 +1,56 @@
+"""Torque + Maui: the default XCBC resource manager and scheduler.
+
+Table 2 lists "maui, torque" under Scheduler and Resource Manager — Torque
+tracks the nodes and jobs (pbs_server/pbs_mom) while Maui makes the
+decisions.  Plain Torque (no Maui) is strict FIFO; Maui adds priority
+ordering and EASY backfill.  Both flavours are exposed so the backfill
+ablation bench can compare them.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulerError
+from .base import BaseScheduler, ClusterResources
+from .job import Job
+
+__all__ = ["TorqueScheduler", "MauiScheduler"]
+
+
+class TorqueScheduler(BaseScheduler):
+    """pbs_server's built-in scheduler: strict FIFO, no backfill."""
+
+    scheduler_name = "torque"
+    backfill = False
+
+    def _schedulable_order(self) -> list[Job]:
+        return sorted(self.pending, key=lambda j: (j.submit_time_s, j.job_id))
+
+
+class MauiScheduler(BaseScheduler):
+    """Maui on top of Torque: priority + queue time ordering, EASY backfill.
+
+    Priority is ``job.priority`` (higher first) with submit time as the
+    tie-break; ``qos_boost`` lets tests model an admin bumping a job.
+    """
+
+    scheduler_name = "torque+maui"
+    backfill = True
+
+    def __init__(self, resources: ClusterResources) -> None:
+        super().__init__(resources)
+        self._qos_boost: dict[int, int] = {}
+
+    def boost(self, job: Job, amount: int) -> None:
+        """setqos: add priority to one job (admin action)."""
+        if amount <= 0:
+            raise SchedulerError("boost must be positive")
+        self._qos_boost[job.job_id] = self._qos_boost.get(job.job_id, 0) + amount
+
+    def effective_priority(self, job: Job) -> int:
+        return job.priority + self._qos_boost.get(job.job_id, 0)
+
+    def _schedulable_order(self) -> list[Job]:
+        return sorted(
+            self.pending,
+            key=lambda j: (-self.effective_priority(j), j.submit_time_s, j.job_id),
+        )

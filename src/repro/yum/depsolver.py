@@ -1,0 +1,180 @@
+"""Dependency resolution: goals + repositories + installed set -> closure.
+
+Yum's resolver is closure-based (not a SAT solver): start from the goal
+packages, repeatedly pick a best provider for every unsatisfied requirement,
+and fail loudly when nothing provides a capability.  Best-provider selection
+is deterministic:
+
+1. priority filtering already happened in :class:`RepoSet` (the plugin);
+2. prefer a provider whose *name* equals the required capability name
+   (matching yum's heuristic that ``Requires: foo`` usually means the
+   package ``foo``);
+3. then the newest EVR;
+4. then the lexicographically smallest name (tie-break for determinism).
+
+The resolver also pulls upgrades for installed packages that would otherwise
+conflict-by-version, and honours ``obsoletes`` during updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DependencyError, PackageNotFoundError
+from ..rpm.database import RpmDatabase
+from ..rpm.package import Package, Requirement
+from .repository import RepoSet
+
+__all__ = ["Resolution", "resolve_install", "resolve_update", "best_provider"]
+
+
+@dataclass
+class Resolution:
+    """Outcome of a resolve: what to install and what it upgrades."""
+
+    to_install: list[Package] = field(default_factory=list)
+    #: names of installed packages being replaced by to_install entries
+    upgrades: dict[str, Package] = field(default_factory=dict)  # name -> new pkg
+    #: requirements satisfied by already-installed packages (for reporting)
+    already_satisfied: list[Requirement] = field(default_factory=list)
+
+    @property
+    def install_names(self) -> set[str]:
+        return {p.name for p in self.to_install}
+
+    def is_empty(self) -> bool:
+        return not self.to_install
+
+
+def best_provider(
+    req: Requirement, repos: RepoSet, *, prefer_name: str | None = None
+) -> Package:
+    """Pick the best available provider for ``req`` (see module rules).
+
+    Raises :class:`DependencyError` if nothing in the enabled repositories
+    satisfies the requirement.
+    """
+    candidates = repos.providers_of(req)
+    if not candidates:
+        raise DependencyError(
+            f"nothing provides {req}", missing=(str(req),)
+        )
+    want = prefer_name or req.name
+    exact = [p for p in candidates if p.name == want]
+    pool = exact or candidates
+    # newest EVR per name, then smallest name wins
+    best_by_name: dict[str, Package] = {}
+    for pkg in pool:
+        held = best_by_name.get(pkg.name)
+        if held is None or pkg.evr > held.evr:
+            best_by_name[pkg.name] = pkg
+    return best_by_name[sorted(best_by_name)[0]]
+
+
+def _closure(
+    goals: list[Package],
+    repos: RepoSet,
+    db: RpmDatabase,
+) -> Resolution:
+    """Compute the install closure of ``goals`` against ``db``."""
+    resolution = Resolution()
+    selected: dict[str, Package] = {}
+    queue: list[Package] = []
+
+    def select(pkg: Package) -> None:
+        held = selected.get(pkg.name)
+        if held is not None:
+            if held.nevra != pkg.nevra:
+                # Keep the newer of the two candidates.
+                if pkg.evr > held.evr:
+                    selected[pkg.name] = pkg
+                    queue.append(pkg)
+            return
+        selected[pkg.name] = pkg
+        queue.append(pkg)
+
+    for goal in goals:
+        select(goal)
+
+    while queue:
+        pkg = queue.pop(0)
+        for req in pkg.requires:
+            if any(p.satisfies(req) for p in selected.values()):
+                continue
+            if db.is_satisfied(req):
+                resolution.already_satisfied.append(req)
+                continue
+            try:
+                provider = best_provider(req, repos)
+            except DependencyError as exc:
+                raise DependencyError(
+                    f"{pkg.nevra} requires {req}, which no enabled repository "
+                    f"provides",
+                    missing=exc.missing,
+                ) from None
+            select(provider)
+
+    for name, pkg in sorted(selected.items()):
+        if db.has(name):
+            old = db.get(name)
+            if pkg.evr > old.evr:
+                resolution.upgrades[name] = pkg
+                resolution.to_install.append(pkg)
+            # same or older EVR installed: nothing to do
+        else:
+            resolution.to_install.append(pkg)
+    return resolution
+
+
+def resolve_install(
+    names: list[str], repos: RepoSet, db: RpmDatabase
+) -> Resolution:
+    """Resolve ``yum install name...``: goals by name, newest candidates."""
+    goals: list[Package] = []
+    for name in names:
+        try:
+            goals.append(repos.latest_by_name(name))
+        except PackageNotFoundError:
+            raise DependencyError(
+                f"no package {name} available in any enabled repository",
+                missing=(name,),
+            ) from None
+    return _closure(goals, repos, db)
+
+
+def resolve_update(
+    repos: RepoSet,
+    db: RpmDatabase,
+    *,
+    names: list[str] | None = None,
+) -> Resolution:
+    """Resolve ``yum update [name...]``.
+
+    For every installed package (or the named subset) with a newer candidate
+    available, pull the newest candidate plus its closure.  Also honours
+    ``obsoletes``: an available package obsoleting an installed one replaces
+    it even across a name change.
+    """
+    targets = names if names is not None else sorted(db.names())
+    goals: list[Package] = []
+    obsoleted: dict[str, Package] = {}
+    for name in targets:
+        if not db.has(name):
+            raise DependencyError(
+                f"cannot update {name}: not installed", missing=(name,)
+            )
+        installed_pkg = db.get(name)
+        candidates = repos.candidates_by_name(name)
+        if candidates and candidates[-1].evr > installed_pkg.evr:
+            goals.append(candidates[-1])
+        # obsoletes scan: any available package that obsoletes this one
+        for repo in repos.enabled_repos():
+            for pkg in repo.all_packages():
+                if pkg.name != name and pkg.obsoletes_package(installed_pkg):
+                    goals.append(pkg)
+                    obsoleted[name] = pkg
+    resolution = _closure(goals, repos, db) if goals else Resolution()
+    for old_name, new_pkg in obsoleted.items():
+        if new_pkg.name in resolution.install_names:
+            resolution.upgrades[old_name] = new_pkg
+    return resolution

@@ -1,0 +1,225 @@
+"""Yum repositories: package collections with metadata and priorities.
+
+The XSEDE Yum repository (XNIT's distribution channel, refs [11, 13, 19])
+is modelled as a :class:`Repository` holding multiple versions per package
+name.  ``priority`` implements the semantics of ``yum-plugin-priorities``,
+which the paper's setup instructions require installing (Section 3): when
+several repositories offer a package name, only repositories with the best
+(numerically lowest) priority for that name contribute candidates — this is
+what stops the base OS from shadowing the XSEDE builds (and is ablated in
+``benchmarks/bench_ablation_priorities.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..errors import PackageNotFoundError, RepoPriorityError, YumError
+from ..rpm.package import Package, Requirement
+
+__all__ = ["Repository", "RepoSet", "DEFAULT_PRIORITY"]
+
+#: yum-plugin-priorities default when a repo declares none.
+DEFAULT_PRIORITY = 99
+
+
+class Repository:
+    """One yum repository."""
+
+    def __init__(
+        self,
+        repo_id: str,
+        *,
+        name: str = "",
+        baseurl: str = "",
+        priority: int = DEFAULT_PRIORITY,
+        enabled: bool = True,
+    ) -> None:
+        if not repo_id:
+            raise YumError("repository id must be non-empty")
+        if not 1 <= priority <= 99:
+            raise RepoPriorityError(
+                f"repo {repo_id}: priority must be in 1..99, got {priority}"
+            )
+        self.repo_id = repo_id
+        self.name = name or repo_id
+        self.baseurl = baseurl or f"http://repo.example.org/{repo_id}/"
+        self.priority = priority
+        self.enabled = enabled
+        self._packages: dict[str, list[Package]] = {}
+        self.revision = 0
+
+    # -- publishing ----------------------------------------------------------
+
+    def add(self, pkg: Package) -> None:
+        """Publish a package (a new NEVRA; re-publishing an identical NEVRA
+        is rejected to keep repository history honest)."""
+        versions = self._packages.setdefault(pkg.name, [])
+        if any(v.nevra == pkg.nevra for v in versions):
+            raise YumError(f"repo {self.repo_id}: {pkg.nevra} already published")
+        versions.append(pkg)
+        versions.sort(key=lambda p: p.evr)
+        self.revision += 1
+
+    def add_all(self, pkgs: list[Package]) -> None:
+        """Publish many packages."""
+        for pkg in pkgs:
+            self.add(pkg)
+
+    def remove(self, nevra: str) -> None:
+        """Withdraw one published NEVRA."""
+        for name, versions in self._packages.items():
+            for pkg in versions:
+                if pkg.nevra == nevra:
+                    versions.remove(pkg)
+                    if not versions:
+                        del self._packages[name]
+                    self.revision += 1
+                    return
+        raise PackageNotFoundError(f"repo {self.repo_id}: no such NEVRA {nevra}")
+
+    # -- queries ---------------------------------------------------------------
+
+    def names(self) -> set[str]:
+        """All published package names."""
+        return set(self._packages)
+
+    def versions_of(self, name: str) -> list[Package]:
+        """All published versions of a name, oldest first."""
+        return list(self._packages.get(name, []))
+
+    def latest(self, name: str) -> Package:
+        """Newest published version of a name."""
+        versions = self._packages.get(name)
+        if not versions:
+            raise PackageNotFoundError(
+                f"repo {self.repo_id}: no package named {name}"
+            )
+        return versions[-1]
+
+    def has(self, name: str) -> bool:
+        return name in self._packages
+
+    def providers_of(self, req: Requirement) -> list[Package]:
+        """Every published package satisfying ``req``."""
+        out = []
+        for versions in self._packages.values():
+            out.extend(p for p in versions if p.satisfies(req))
+        return sorted(out, key=lambda p: (p.name, p.evr))
+
+    def all_packages(self) -> list[Package]:
+        """Every published package, sorted by (name, EVR)."""
+        out = []
+        for name in sorted(self._packages):
+            out.extend(self._packages[name])
+        return out
+
+    def package_count(self) -> int:
+        """Total published NEVRAs."""
+        return sum(len(v) for v in self._packages.values())
+
+    def total_size_bytes(self) -> int:
+        """Sum of payload sizes (drives the mirror bandwidth model)."""
+        return sum(p.size_bytes for p in self.all_packages())
+
+    def repomd_checksum(self) -> str:
+        """Stable fingerprint of the current metadata (changes iff content
+        changes) — what a mirror compares to decide whether to resync."""
+        digest = hashlib.sha256()
+        for pkg in self.all_packages():
+            digest.update(pkg.nevra.encode())
+        return digest.hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Repository {self.repo_id} pkgs={self.package_count()}>"
+
+
+class RepoSet:
+    """The enabled repository configuration of one host, with priorities.
+
+    Candidate selection applies yum-plugin-priorities: for a given package
+    *name*, only repositories with the best (lowest) priority offering that
+    name contribute.  With the plugin disabled (``use_priorities=False``),
+    all enabled repositories contribute and the newest EVR wins regardless of
+    origin — the failure mode the ablation bench demonstrates.
+    """
+
+    def __init__(self, repos: list[Repository] | None = None, *, use_priorities: bool = True):
+        self._repos: dict[str, Repository] = {}
+        self.use_priorities = use_priorities
+        for repo in repos or []:
+            self.add_repo(repo)
+
+    def add_repo(self, repo: Repository) -> None:
+        if repo.repo_id in self._repos:
+            raise YumError(f"duplicate repo id {repo.repo_id}")
+        self._repos[repo.repo_id] = repo
+
+    def remove_repo(self, repo_id: str) -> None:
+        if repo_id not in self._repos:
+            raise YumError(f"no such repo {repo_id}")
+        del self._repos[repo_id]
+
+    def get(self, repo_id: str) -> Repository:
+        try:
+            return self._repos[repo_id]
+        except KeyError:
+            raise YumError(f"no such repo {repo_id}") from None
+
+    def enabled_repos(self) -> list[Repository]:
+        """Enabled repositories sorted by (priority, id)."""
+        return sorted(
+            (r for r in self._repos.values() if r.enabled),
+            key=lambda r: (r.priority, r.repo_id),
+        )
+
+    def repolist(self) -> list[tuple[str, int, int]]:
+        """``yum repolist``: (id, priority, package count) for enabled repos."""
+        return [
+            (r.repo_id, r.priority, r.package_count()) for r in self.enabled_repos()
+        ]
+
+    # -- candidate selection -----------------------------------------------------
+
+    def candidates_by_name(self, name: str) -> list[Package]:
+        """All candidate versions of ``name`` after priority filtering."""
+        offering = [r for r in self.enabled_repos() if r.has(name)]
+        if not offering:
+            return []
+        if self.use_priorities:
+            best = min(r.priority for r in offering)
+            offering = [r for r in offering if r.priority == best]
+        out: list[Package] = []
+        seen: set[str] = set()
+        for repo in offering:
+            for pkg in repo.versions_of(name):
+                if pkg.nevra not in seen:
+                    seen.add(pkg.nevra)
+                    out.append(pkg)
+        return sorted(out, key=lambda p: p.evr)
+
+    def latest_by_name(self, name: str) -> Package:
+        """Newest candidate of ``name`` (after priority filtering)."""
+        candidates = self.candidates_by_name(name)
+        if not candidates:
+            raise PackageNotFoundError(f"no package {name} in any enabled repo")
+        return candidates[-1]
+
+    def providers_of(self, req: Requirement) -> list[Package]:
+        """All candidates satisfying ``req``, priority-filtered per name."""
+        names: set[str] = set()
+        for repo in self.enabled_repos():
+            for pkg in repo.providers_of(req):
+                names.add(pkg.name)
+        out: list[Package] = []
+        for name in sorted(names):
+            out.extend(p for p in self.candidates_by_name(name) if p.satisfies(req))
+        return out
+
+    def all_names(self) -> set[str]:
+        """Union of names across enabled repositories."""
+        names: set[str] = set()
+        for repo in self.enabled_repos():
+            names |= repo.names()
+        return names

@@ -1,0 +1,89 @@
+"""Extended CLI surfaces: yum groups, condor, ganglia, lfs."""
+
+import pytest
+
+from repro.cli import ClusterShell
+from repro.core import build_xnit_repository, xnit_group_catalog
+from repro.htc import pool_from_cluster, HtcJob, ClassAd
+from repro.monitoring import monitor_cluster
+from repro.pfs import montana_hyalite_storage
+
+
+@pytest.fixture
+def loaded_shell(xcbc_littlefe):
+    cluster = xcbc_littlefe.cluster
+    pool = pool_from_cluster(cluster)
+    pool.submit(HtcJob(ad=ClassAd("sweep-1"), owner="grad", runtime_cycles=3))
+    pool.step()
+    gmetad = monitor_cluster(cluster)
+    gmetad.poll_cycle()
+    lustre = montana_hyalite_storage()
+    lustre.create("/hyalite/data.bin", 10**9, stripe_count=4)
+    return ClusterShell(
+        cluster,
+        repositories={"xsede": build_xnit_repository()},
+        group_catalog=xnit_group_catalog(),
+        condor_pool=pool,
+        gmetad=gmetad,
+        lustre=lustre,
+    )
+
+
+class TestYumGroups:
+    def test_grouplist(self, loaded_shell):
+        output = loaded_shell.run("yum grouplist").output
+        assert "XNIT Bioinformatics Pipeline" in output
+
+    def test_groupinfo(self, loaded_shell):
+        output = loaded_shell.run("yum groupinfo xnit-molecular-dynamics").output
+        assert "gromacs" in output and "Mandatory Packages" in output
+
+    def test_groupinstall_extras_via_shell(self, loaded_shell):
+        # the md group is already on an XCBC build; data-climate optional
+        # extras are not, so use a domain group with uninstalled optionals
+        result = loaded_shell.run("yum groupinstall xnit-data-climate")
+        # everything mandatory is already installed on XCBC -> nothing to do
+        assert not result.ok and "nothing to do" in result.output
+
+    def test_group_verbs_need_catalog(self, xcbc_littlefe):
+        shell = ClusterShell(xcbc_littlefe.cluster)
+        assert not shell.run("yum grouplist").ok
+
+
+class TestCondorCli:
+    def test_condor_status(self, loaded_shell):
+        output = loaded_shell.run("condor_status").output
+        assert "slot1@compute-0-0" in output
+        assert "Claimed" in output  # the stepped job is running
+
+    def test_condor_q(self, loaded_shell):
+        output = loaded_shell.run("condor_q").output
+        assert "sweep-1" in output and "1 running" in output
+
+    def test_condor_requires_pool(self, xcbc_littlefe):
+        shell = ClusterShell(xcbc_littlefe.cluster)
+        assert not shell.run("condor_status").ok
+
+
+class TestGangliaCli:
+    def test_dashboard(self, loaded_shell):
+        output = loaded_shell.run("ganglia").output
+        assert "Ganglia" in output and "6/6 up" in output
+
+    def test_requires_gmetad(self, xcbc_littlefe):
+        shell = ClusterShell(xcbc_littlefe.cluster)
+        assert not shell.run("ganglia").ok
+
+
+class TestLfsCli:
+    def test_lfs_df(self, loaded_shell):
+        output = loaded_shell.run("lfs df").output
+        assert "hyalite-OST0000" in output and "total" in output
+
+    def test_lfs_getstripe(self, loaded_shell):
+        output = loaded_shell.run("lfs getstripe /hyalite/data.bin").output
+        assert "lmm_stripe_count:  4" in output
+
+    def test_lfs_usage_errors(self, loaded_shell):
+        assert not loaded_shell.run("lfs frobnicate").ok
+        assert not loaded_shell.run("lfs getstripe /no/such").ok

@@ -1,0 +1,109 @@
+"""Table 3 deployment-registry tests: published figures and full rebuilds."""
+
+import pytest
+
+from repro.core import (
+    AdoptionPath,
+    PETAFLOPS_GOAL_2020_GFLOPS,
+    TABLE3_SITES,
+    rebuild_site_hardware,
+    table3_totals,
+)
+from repro.errors import DeploymentError
+
+
+class TestPublishedFigures:
+    def test_totals_row(self):
+        # Table 3 totals: 304 nodes, 2708 cores, 49.61 TFLOPS
+        assert table3_totals() == (304, 2708, 49.61)
+
+    def test_six_sites(self):
+        assert len(TABLE3_SITES) == 6
+
+    def test_adoption_split_matches_section_4(self):
+        by_site = {s.site: s.adoption for s in TABLE3_SITES}
+        assert by_site["Marshall University"] is AdoptionPath.XCBC
+        assert by_site["Montana State University"] is AdoptionPath.XNIT
+        hawaii = next(s for s in TABLE3_SITES if "Hawaii" in s.site)
+        assert hawaii.adoption is AdoptionPath.XNIT
+
+    def test_marshall_gpu_row(self):
+        marshall = next(s for s in TABLE3_SITES if "Marshall" in s.site)
+        assert marshall.gpu_nodes == 8
+        assert marshall.gpu_cuda_cores == 3584
+
+    def test_half_petaflops_goal_far_from_current(self):
+        _n, _c, tf = table3_totals()
+        assert tf * 1000 < PETAFLOPS_GOAL_2020_GFLOPS
+        assert PETAFLOPS_GOAL_2020_GFLOPS / (tf * 1000) > 10
+
+    def test_invalid_site_rejected(self):
+        from repro.core.deployments import SiteDeployment
+
+        with pytest.raises(DeploymentError):
+            SiteDeployment(
+                site="bad", nodes=3, cores=10, rpeak_tflops=1.0,
+                adoption=AdoptionPath.XCBC,
+            )  # cores not divisible by nodes
+
+
+class TestHardwareRebuilds:
+    @pytest.mark.parametrize("site", TABLE3_SITES, ids=lambda s: s.site[:24])
+    def test_rebuild_matches_published_row(self, site):
+        machine = rebuild_site_hardware(site)
+        assert machine.node_count == site.nodes
+        assert machine.total_cores == site.cores
+        # Rpeak within 1 % (the IU rows carry the paper's 2-decimal rounding)
+        assert machine.rpeak_gflops == pytest.approx(site.rpeak_gflops, rel=0.01)
+
+    def test_rebuilt_totals_match_table(self):
+        total_gflops = sum(
+            rebuild_site_hardware(s).rpeak_gflops for s in TABLE3_SITES
+        )
+        assert total_gflops / 1000 == pytest.approx(49.61, rel=0.01)
+
+    def test_marshall_rebuild_has_gpus(self):
+        marshall = next(s for s in TABLE3_SITES if "Marshall" in s.site)
+        machine = rebuild_site_hardware(marshall)
+        gpu_nodes = [n for n in machine.nodes if n.gpus]
+        assert len(gpu_nodes) == 8
+        assert sum(g.cuda_cores for n in gpu_nodes for g in n.gpus) == 3584
+
+    def test_iu_rows_rebuild_as_paper_machines(self):
+        littlefe_site = next(s for s in TABLE3_SITES if "LittleFe" in s.other_info)
+        machine = rebuild_site_hardware(littlefe_site)
+        assert machine.nodes[0].cpu.model == "Intel Celeron G1840"
+        limulus_site = next(s for s in TABLE3_SITES if "Limulus" in s.other_info)
+        machine = rebuild_site_hardware(limulus_site)
+        assert machine.nodes[0].cpu.model == "Intel Core i7-4770S"
+
+
+class TestSoftwareRebuilds:
+    """Small sites rebuilt through their actual adoption path."""
+
+    def test_xcbc_path_on_marshall_scale_site(self):
+        from repro.core import build_xcbc_cluster
+
+        marshall = next(s for s in TABLE3_SITES if "Marshall" in s.site)
+        machine = rebuild_site_hardware(marshall)
+        report = build_xcbc_cluster(machine, include_optional_rolls=False)
+        assert len(report.cluster.hosts()) == 22
+        assert report.cluster.frontend.has_command("qsub")
+
+    def test_xnit_path_on_hawaii_scale_site(self):
+        from repro.core import (
+            build_existing_cluster,
+            build_xnit_repository,
+            integrate_host,
+            setup_via_repo_rpm,
+        )
+
+        hawaii = next(s for s in TABLE3_SITES if "Hawaii" in s.site)
+        machine = rebuild_site_hardware(hawaii)
+        cluster = build_existing_cluster(machine)
+        repo = build_xnit_repository()
+        client = cluster.client_for(cluster.frontend)
+        setup_via_repo_rpm(client, repo)
+        report = integrate_host(client, packages=["gromacs", "ncbi-blast"])
+        assert report.preexisting_untouched
+        assert cluster.frontend.has_command("blastn")

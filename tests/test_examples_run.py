@@ -1,0 +1,77 @@
+"""Smoke tests: every shipped example runs to completion and prints its
+headline content.  The examples double as integration tests of the public
+API — if one breaks, a user-facing walkthrough broke."""
+
+import importlib.util
+import io
+import pathlib
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    """Import an example module and run its main(), capturing stdout."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        spec.loader.exec_module(module)
+        module.main()
+    return buffer.getvalue()
+
+
+def test_quickstart():
+    output = run_example("quickstart")
+    assert "537.6 GFLOPS" in output
+    assert "OVERALL" in output and "100.0%" in output
+    assert "PASSED" in output  # the real HPL residual check
+
+
+def test_littlefe_xcbc_from_scratch():
+    output = run_example("littlefe_xcbc_from_scratch")
+    assert "Rocks refuses it" in output
+    assert "Rosewill" in output
+    assert "[slot 5]" in output  # the rendered frame
+
+
+def test_limulus_xnit_retrofit():
+    output = run_example("limulus_xnit_retrofit")
+    assert "Final compatibility (0.0.9 catalogue): 100.0%" in output
+    assert "R available on the frontend: True" in output
+
+
+def test_campus_bridging_migration():
+    output = run_example("campus_bridging_migration")
+    assert "Command portability: 100%" in output
+    assert "completed" in output
+
+
+def test_training_workshop():
+    output = run_example("training_workshop")
+    assert "all steps passed" in output
+    assert "Teaching moments" in output
+
+
+def test_deskside_research():
+    output = run_example("deskside_research")
+    assert "crossover" in output
+    assert "100-point parameter study" in output
+
+
+def test_cluster_shell_session():
+    output = run_example("cluster_shell_session")
+    assert "0 failures" in output
+    assert "rocks list host" in output
+
+
+def test_rebuild_table3_fleet():
+    output = run_example("rebuild_table3_fleet")
+    assert "304   2708  49.61" in output
+    assert "10.1x growth" in output
+    assert "300 TB over 20 OSTs" in output

@@ -1,0 +1,204 @@
+"""Grid-layer tests: GridFTP transfers, GFFS namespace, Stampede reference."""
+
+import pytest
+
+from repro.core import audit_host, xsede_packages
+from repro.core.packages_xsede import CATEGORY_SCHEDULER
+from repro.grid import (
+    GffsNamespace,
+    GridEndpoint,
+    GridError,
+    WanLink,
+    build_stampede_mini,
+    transfer,
+)
+
+
+@pytest.fixture(scope="module")
+def stampede():
+    return build_stampede_mini(nodes=4)
+
+
+@pytest.fixture(scope="module")
+def campus():
+    from repro.core import build_xcbc_cluster
+    from repro.hardware import build_littlefe_modified
+
+    return build_xcbc_cluster(build_littlefe_modified("campus").machine).cluster
+
+
+class TestWanLink:
+    def test_striping_aggregates_bandwidth(self):
+        link = WanLink(bandwidth_bytes_s=1.25e8, per_stream_cap_bytes_s=3e7)
+        one = link.transfer_time_s(10**9, parallelism=1)
+        four = link.transfer_time_s(10**9, parallelism=4)
+        assert four < one  # the reason GridFTP stripes
+        # but never beyond the link rate
+        eight = link.transfer_time_s(10**9, parallelism=8)
+        floor = link.latency_s + 10**9 / link.bandwidth_bytes_s
+        assert eight == pytest.approx(floor)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GridError):
+            WanLink().transfer_time_s(-1, parallelism=1)
+        with pytest.raises(GridError):
+            WanLink().transfer_time_s(1, parallelism=0)
+
+
+class TestEndpoints:
+    def test_requires_globus_installed(self, littlefe_machine):
+        from repro.distro import CENTOS_6_5, Host
+
+        bare = Host(littlefe_machine.head, CENTOS_6_5)
+        with pytest.raises(GridError, match="globus"):
+            GridEndpoint("campus#bare", bare)
+
+    def test_checksum_stability(self, campus):
+        ep = GridEndpoint("campus#lf", campus.frontend)
+        campus.frontend.fs.write("/home/x.dat", "abc")
+        assert ep.checksum("/home/x.dat") == ep.checksum("/home/x.dat")
+
+    def test_list_files_recursive(self, campus):
+        ep = GridEndpoint("campus#lf", campus.frontend)
+        campus.frontend.fs.write("/home/d/a.txt", "1")
+        campus.frontend.fs.write("/home/d/sub/b.txt", "2")
+        assert ep.list_files("/home/d") == ["a.txt", "sub/b.txt"]
+
+
+class TestTransfers:
+    def test_single_file_with_verification(self, campus, stampede):
+        src = GridEndpoint("campus#lf", campus.frontend)
+        dst = GridEndpoint("xsede#stampede", stampede.frontend)
+        campus.frontend.fs.write("/home/alice/results.csv", "a,b\n1,2\n" * 100)
+        result = transfer(
+            src, dst, "/home/alice/results.csv", "/scratch/alice/results.csv"
+        )
+        assert result.files == 1
+        assert dst.read("/scratch/alice/results.csv") == src.read(
+            "/home/alice/results.csv"
+        )
+        assert result.retried_files == []
+
+    def test_directory_tree_preserved(self, campus, stampede):
+        src = GridEndpoint("campus#lf", campus.frontend)
+        dst = GridEndpoint("xsede#stampede", stampede.frontend)
+        for rel in ("run1/in.gro", "run1/topol.top", "run2/in.gro"):
+            campus.frontend.fs.write(f"/home/bob/md/{rel}", f"content:{rel}")
+        result = transfer(src, dst, "/home/bob/md", "/scratch/bob/md")
+        assert result.files == 3
+        assert dst.read("/scratch/bob/md/run2/in.gro") == "content:run2/in.gro"
+
+    def test_corruption_caught_and_retried(self, campus, stampede):
+        src = GridEndpoint("campus#lf", campus.frontend)
+        dst = GridEndpoint("xsede#stampede", stampede.frontend)
+        campus.frontend.fs.write("/home/c/big.dat", "z" * 1000)
+        result = transfer(
+            src, dst, "/home/c/big.dat", "/scratch/c/big.dat",
+            corrupt_first_attempt={"big.dat"},
+        )
+        assert result.retried_files == ["big.dat"]
+        assert dst.read("/scratch/c/big.dat") == "z" * 1000
+
+    def test_persistent_corruption_fails_loudly(self, campus, stampede):
+        src = GridEndpoint("campus#lf", campus.frontend)
+        dst = GridEndpoint("xsede#stampede", stampede.frontend)
+        campus.frontend.fs.write("/home/c/cursed.dat", "q" * 10)
+        with pytest.raises(GridError, match="checksum"):
+            transfer(
+                src, dst, "/home/c/cursed.dat", "/scratch/c/cursed.dat",
+                corrupt_first_attempt={"cursed.dat"},
+                max_retries=0,
+            )
+
+    def test_empty_directory_rejected(self, campus, stampede):
+        src = GridEndpoint("campus#lf", campus.frontend)
+        dst = GridEndpoint("xsede#stampede", stampede.frontend)
+        campus.frontend.fs.mkdir("/home/empty-dir", exist_ok=True)
+        with pytest.raises(GridError, match="no files"):
+            transfer(src, dst, "/home/empty-dir", "/scratch/nowhere")
+
+
+class TestGffs:
+    def test_longest_prefix_routing(self, campus, stampede):
+        ns = GffsNamespace()
+        ns.link("/resources/campus", campus.frontend, "/home")
+        ns.link("/resources/campus/apps", campus.frontend, "/opt")
+        campus.frontend.fs.write("/home/f.txt", "home file")
+        assert ns.read("/resources/campus/f.txt") == "home file"
+        # the deeper link wins for its subtree
+        assert ns.exists("/resources/campus/apps/gromacs/.keep")
+
+    def test_cross_site_copy(self, campus, stampede):
+        ns = GffsNamespace()
+        ns.link("/resources/campus", campus.frontend, "/home")
+        ns.link("/resources/stampede", stampede.frontend, "/scratch")
+        campus.frontend.fs.write("/home/dataset.bin", "D" * 64)
+        moved = ns.copy(
+            "/resources/campus/dataset.bin", "/resources/stampede/dataset.bin"
+        )
+        assert moved == 64
+        assert stampede.frontend.fs.read("/scratch/dataset.bin") == "D" * 64
+
+    def test_unbacked_path_rejected(self):
+        ns = GffsNamespace()
+        with pytest.raises(GridError, match="no grid resource"):
+            ns.read("/resources/ghost/file")
+
+    def test_link_requires_gffs_tooling(self, littlefe_machine):
+        from repro.distro import CENTOS_6_5, Host
+
+        bare = Host(littlefe_machine.head, CENTOS_6_5)
+        ns = GffsNamespace()
+        with pytest.raises(GridError, match="gffs"):
+            ns.link("/resources/bare", bare, "/home")
+
+    def test_ls_at_namespace_level(self, campus, stampede):
+        ns = GffsNamespace()
+        ns.link("/resources/campus", campus.frontend, "/home")
+        ns.link("/resources/stampede", stampede.frontend, "/scratch")
+        assert ns.ls("/resources") == ["campus", "stampede"]
+
+    def test_duplicate_link_rejected(self, campus):
+        ns = GffsNamespace()
+        ns.link("/resources/campus", campus.frontend, "/home")
+        with pytest.raises(GridError, match="already links"):
+            ns.link("/resources/campus", campus.frontend, "/opt")
+
+
+class TestStampedeReference:
+    def test_shape(self, stampede):
+        assert stampede.machine.node_count == 4
+        assert stampede.machine.total_cores == 32  # 4 x E5-2670 8-core
+        assert stampede.frontend.has_command("sbatch")
+        assert not stampede.frontend.has_command("qsub")
+
+    def test_audits_perfectly_against_slurm_catalogue(self, stampede):
+        catalogue = [
+            p for p in xsede_packages() if p.category != CATEGORY_SCHEDULER
+        ]
+        report = audit_host(
+            stampede.frontend,
+            stampede.client_for(stampede.frontend).db,
+            catalogue=catalogue,
+        )
+        assert report.overall == pytest.approx(1.0)
+
+    def test_campus_cluster_runs_alike_the_reference(self, campus, stampede):
+        """The Section 2 claim with a live reference: same libraries in the
+        same places, same modules, same application commands."""
+        from repro.core import portability_check
+
+        apps = ["mdrun", "R", "python", "blastn", "octave", "mpirun"]
+        frac, broken = portability_check(
+            campus.frontend, stampede.frontend, apps
+        )
+        assert frac == 1.0, broken
+        for lib in ("libfftw3.so.3", "libmpi.so.1", "libR.so"):
+            assert campus.frontend.fs.exists(f"/usr/lib64/{lib}")
+            assert stampede.frontend.fs.exists(f"/usr/lib64/{lib}")
+
+    def test_minimum_size_enforced(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            build_stampede_mini(nodes=1)

@@ -1,0 +1,209 @@
+"""HTCondor substrate tests: matchmaking, fair share, scavenging, eviction."""
+
+import pytest
+
+from repro.htc import (
+    ClassAd,
+    Condition,
+    CondorPool,
+    HtcError,
+    HtcJob,
+    HtcJobState,
+    Op,
+    Requirements,
+    pool_from_cluster,
+)
+
+
+def job(name, owner="grad", cycles=2, memory=512, requirements=()):
+    return HtcJob(
+        ad=ClassAd(
+            name,
+            attributes={"RequestMemory": memory},
+            requirements=Requirements(tuple(requirements)),
+        ),
+        owner=owner,
+        runtime_cycles=cycles,
+    )
+
+
+class TestClassAds:
+    def test_condition_ops(self):
+        ad = ClassAd("m", attributes={"Memory": 4096, "Arch": "X86_64"})
+        assert Condition("Memory", Op.GE, 2048).evaluate(ad)
+        assert not Condition("Memory", Op.LT, 2048).evaluate(ad)
+        assert Condition("Arch", Op.EQ, "X86_64").evaluate(ad)
+        assert Condition("Arch", Op.NE, "ARM").evaluate(ad)
+
+    def test_missing_attribute_is_false(self):
+        ad = ClassAd("m", attributes={})
+        assert not Condition("Memory", Op.GE, 1).evaluate(ad)
+
+    def test_type_mismatch_is_false(self):
+        ad = ClassAd("m", attributes={"Memory": "lots"})
+        assert not Condition("Memory", Op.GE, 1).evaluate(ad)
+
+    def test_symmetric_match(self):
+        machine = ClassAd(
+            "slot1@n1",
+            attributes={"Memory": 4096},
+            requirements=Requirements(
+                (Condition("RequestMemory", Op.LE, 2048),)
+            ),
+        )
+        small = ClassAd(
+            "job-small",
+            attributes={"RequestMemory": 512},
+            requirements=Requirements((Condition("Memory", Op.GE, 1024),)),
+        )
+        hog = ClassAd("job-hog", attributes={"RequestMemory": 4096})
+        assert small.matches(machine)
+        assert not hog.matches(machine)  # machine refuses big requests
+
+    def test_rank_orders_candidates(self):
+        picky = ClassAd("j", rank_attribute="Memory")
+        big = ClassAd("big", attributes={"Memory": 8192})
+        small = ClassAd("small", attributes={"Memory": 1024})
+        assert picky.rank_of(big) > picky.rank_of(small)
+
+    def test_requirements_render(self):
+        req = Requirements((Condition("Memory", Op.GE, 1024),))
+        assert "Memory >= 1024" in str(req)
+        assert str(Requirements()) == "TRUE"
+
+
+class TestPool:
+    def make_pool(self):
+        pool = CondorPool()
+        pool.add_dedicated_machine("node1", cores=2, memory_mb=4096)
+        pool.add_dedicated_machine("node2", cores=2, memory_mb=4096)
+        return pool
+
+    def test_slots_per_core(self):
+        assert self.make_pool().slot_count() == 4
+
+    def test_duplicate_slot_rejected(self):
+        pool = self.make_pool()
+        with pytest.raises(HtcError):
+            pool.add_dedicated_machine("node1", cores=1, memory_mb=1024)
+
+    def test_drain_simple_queue(self):
+        pool = self.make_pool()
+        for i in range(10):
+            pool.submit(job(f"t{i}", cycles=2))
+        cycles = pool.run_until_drained()
+        assert len(pool.completed) == 10
+        # 10 jobs x 2 cycles over 4 slots; freed slots rematch on the NEXT
+        # negotiation cycle (like the real negotiator), so 3 waves x 2 = 6
+        assert cycles == 6
+
+    def test_requirements_respected(self):
+        pool = self.make_pool()
+        fussy = job(
+            "needs-ram",
+            memory=512,
+            requirements=[Condition("Memory", Op.GE, 100000)],
+        )
+        pool.submit(fussy)
+        with pytest.raises(HtcError, match="unmatchable|did not drain"):
+            pool.run_until_drained(max_cycles=5)
+
+    def test_fair_share_interleaves_users(self):
+        pool = CondorPool()
+        pool.add_dedicated_machine("node1", cores=1, memory_mb=4096)
+        flood = [pool.submit(job(f"f{i}", owner="flooder")) for i in range(5)]
+        fair = pool.submit(job("fair-job", owner="polite"))
+        # flooder submitted first, but polite must start by the second match
+        pool.step()
+        pool.step()
+        pool.step()
+        started = [j for j in (flood + [fair]) if j.state != HtcJobState.IDLE]
+        assert fair in started
+
+    def test_usage_accounting(self):
+        pool = self.make_pool()
+        pool.submit(job("a", owner="alice", cycles=3))
+        pool.run_until_drained()
+        assert pool.usage["alice"] == 3
+
+
+class TestScavenging:
+    def test_desktop_joins_and_runs(self):
+        pool = CondorPool()
+        pool.add_desktop("prof-desktop", memory_mb=8192)
+        pool.submit(job("overnight", cycles=2))
+        pool.run_until_drained()
+        assert len(pool.completed) == 1
+
+    def test_owner_presence_blocks_matching(self):
+        pool = CondorPool()
+        pool.add_desktop("prof-desktop", memory_mb=8192)
+        pool.set_owner_present("prof-desktop", True)
+        pool.submit(job("blocked"))
+        pool.step()
+        assert pool.idle_jobs()  # nothing matched
+        pool.set_owner_present("prof-desktop", False)
+        pool.run_until_drained()
+        assert len(pool.completed) == 1
+
+    def test_owner_return_evicts_and_restarts(self):
+        pool = CondorPool()
+        pool.add_desktop("prof-desktop", memory_mb=8192)
+        victim = pool.submit(job("long", cycles=5))
+        pool.step()
+        pool.step()
+        assert victim.state is HtcJobState.RUNNING
+        assert victim.remaining_cycles == 3
+        evicted = pool.set_owner_present("prof-desktop", True)
+        assert evicted == [victim]
+        assert victim.state is HtcJobState.EVICTED
+        assert victim.remaining_cycles == 5  # vanilla restart from scratch
+        assert pool.evictions == 1
+        # owner leaves; the job reruns to completion
+        pool.set_owner_present("prof-desktop", False)
+        pool.run_until_drained()
+        assert victim.state is HtcJobState.COMPLETED
+        assert victim.restarts == 1
+
+    def test_job_prefers_dedicated_slot(self):
+        pool = CondorPool()
+        pool.add_desktop("desk", memory_mb=8192)
+        pool.add_dedicated_machine("node1", cores=1, memory_mb=8192)
+        j = pool.submit(job("careful"))
+        pool.negotiate()
+        assert j.slot_name == "slot1@node1"
+
+    def test_condor_status_table(self):
+        pool = CondorPool()
+        pool.add_dedicated_machine("node1", cores=1, memory_mb=1024)
+        pool.add_desktop("desk", memory_mb=1024)
+        pool.set_owner_present("desk", True)
+        pool.submit(job("x", cycles=3))
+        pool.step()
+        status = pool.condor_status()
+        assert "Claimed" in status and "Owner" in status
+
+
+class TestClusterIntegration:
+    def test_pool_from_xcbc_cluster(self):
+        from repro.hardware import build_littlefe_modified
+        from repro.rocks import install_cluster, optional_rolls
+
+        cluster = install_cluster(
+            build_littlefe_modified().machine,
+            rolls=[optional_rolls()["htcondor"]],
+        )
+        pool = pool_from_cluster(cluster)
+        assert pool.slot_count() == 10  # 5 compute nodes x 2 cores
+        for i in range(30):
+            pool.submit(job(f"sweep-{i}", cycles=1))
+        pool.run_until_drained()
+        assert len(pool.completed) == 30
+
+    def test_pool_requires_condor_roll(self):
+        from repro.hardware import build_littlefe_modified
+        from repro.rocks import install_cluster
+
+        cluster = install_cluster(build_littlefe_modified().machine)
+        with pytest.raises(HtcError, match="condor_master"):
+            pool_from_cluster(cluster)

@@ -1,0 +1,104 @@
+"""Cluster-manifest tests: capture, round-trip, and structural diff."""
+
+import pytest
+
+from repro.core import (
+    ClusterManifest,
+    build_limulus_cluster,
+    build_xnit_repository,
+    integrate_host,
+    manifest_of_cluster,
+    setup_via_repo_rpm,
+)
+from repro.errors import ReproError
+
+
+class TestCapture:
+    def test_provisioned_cluster_capture(self, xcbc_littlefe):
+        manifest = manifest_of_cluster(xcbc_littlefe.cluster)
+        assert len(manifest.hosts) == 6
+        fe = manifest.host("littlefe-iu-n0")
+        assert fe.arch == "x86_64"
+        assert fe.release == "CentOS 6.5"
+        assert any(p.startswith("gromacs-") for p in fe.packages)
+        assert "pbs_server" in fe.enabled_services
+
+    def test_existing_cluster_capture(self, xnit_limulus):
+        manifest = manifest_of_cluster(xnit_limulus)
+        assert len(manifest.hosts) == 4
+        assert any(
+            p.startswith("limulus-manage")
+            for p in manifest.host("limulus-hpc200-n0").packages
+        )
+
+    def test_uniform_packages(self, xcbc_littlefe):
+        manifest = manifest_of_cluster(xcbc_littlefe.cluster)
+        uniform = manifest.uniform_packages()
+        assert any(p.startswith("gromacs-") for p in uniform)
+        # grid services are frontend-only, so not uniform
+        assert not any(p.startswith("globus-connect-server") for p in uniform)
+
+    def test_unknown_cluster_shape_rejected(self):
+        with pytest.raises(ReproError, match="manifest"):
+            manifest_of_cluster(object())
+
+    def test_unknown_host_rejected(self, xcbc_littlefe):
+        manifest = manifest_of_cluster(xcbc_littlefe.cluster)
+        with pytest.raises(ReproError, match="no host"):
+            manifest.host("ghost")
+
+
+class TestRoundTripAndDiff:
+    def test_json_roundtrip(self, xcbc_littlefe):
+        manifest = manifest_of_cluster(xcbc_littlefe.cluster)
+        again = ClusterManifest.from_json(manifest.to_json())
+        assert again.diff(manifest) == {}
+        assert manifest.diff(again) == {}
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ReproError, match="malformed"):
+            ClusterManifest.from_json("[]")
+
+    def test_diff_flags_package_drift(self, xcbc_littlefe):
+        manifest = manifest_of_cluster(xcbc_littlefe.cluster)
+        mutated = ClusterManifest.from_json(manifest.to_json())
+        # simulate drift: compute-0-0 lost a package
+        target = mutated.host("compute-0-0")
+        trimmed = tuple(p for p in target.packages if not p.startswith("gromacs-"))
+        mutated.hosts[mutated.hosts.index(target)] = target.__class__(
+            hostname=target.hostname,
+            arch=target.arch,
+            release=target.release,
+            packages=trimmed,
+            enabled_services=target.enabled_services,
+            modules=target.modules,
+            mounts=target.mounts,
+        )
+        delta = manifest.diff(mutated)
+        assert list(delta) == ["compute-0-0: packages"]
+        assert delta["compute-0-0: packages"][0].startswith("+gromacs-")
+
+    def test_diff_flags_missing_host(self, xcbc_littlefe):
+        manifest = manifest_of_cluster(xcbc_littlefe.cluster)
+        smaller = ClusterManifest.from_json(manifest.to_json())
+        smaller.hosts.pop()
+        delta = manifest.diff(smaller)
+        assert "hosts_only_here" in delta
+
+    def test_two_integration_paths_match_on_runalike(self, xcbc_littlefe, xnit_limulus):
+        """Manifests make the convergence claim auditable from records
+        alone: the run-alike NEVRAs agree across the two build paths."""
+        a = manifest_of_cluster(xcbc_littlefe.cluster)
+        b = manifest_of_cluster(xnit_limulus)
+        from repro.core import xsede_package_names
+
+        runalike = set(xsede_package_names())
+        nevras_a = {
+            p for p in a.host("littlefe-iu-n0").packages
+            if p.rsplit("-", 2)[0] in runalike
+        }
+        nevras_b = {
+            p for p in b.host("limulus-hpc200-n0").packages
+            if p.rsplit("-", 2)[0] in runalike
+        }
+        assert nevras_a == nevras_b

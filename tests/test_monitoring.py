@@ -1,0 +1,190 @@
+"""Monitoring substrate tests: RRDs, gmond sampling, gmetad aggregation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitoring import (
+    CORE_METRICS,
+    Gmetad,
+    Gmond,
+    MonitoringError,
+    Rrd,
+    monitor_cluster,
+)
+from repro.rocks import install_cluster, optional_rolls
+from repro.scheduler import ClusterResources, Job, MauiScheduler
+
+
+@pytest.fixture(scope="module")
+def ganglia_cluster():
+    from repro.hardware import build_littlefe_modified
+
+    machine = build_littlefe_modified().machine
+    cluster = install_cluster(machine, rolls=[optional_rolls()["ganglia"]])
+    return machine, cluster
+
+
+class TestRrd:
+    def test_update_and_series(self):
+        rrd = Rrd(step_s=10.0, slots=6)
+        for t, v in [(0, 1.0), (5, 3.0), (12, 5.0)]:
+            rrd.update(float(t), v)
+        series = rrd.series()
+        assert len(series) == 2
+        assert series[0].value == pytest.approx(2.0)  # (1+3)/2 consolidated
+        assert series[1].value == pytest.approx(5.0)
+
+    def test_ring_wraps_keeping_constant_size(self):
+        rrd = Rrd(step_s=1.0, slots=4)
+        for t in range(20):
+            rrd.update(float(t), float(t))
+        assert len(rrd) == 4
+        series = rrd.series()
+        assert [p.value for p in series] == [16.0, 17.0, 18.0, 19.0]
+
+    def test_out_of_order_rejected(self):
+        rrd = Rrd()
+        rrd.update(100.0, 1.0)
+        with pytest.raises(MonitoringError, match="out-of-order"):
+            rrd.update(50.0, 1.0)
+
+    def test_statistics(self):
+        rrd = Rrd(step_s=1.0, slots=10)
+        for t, v in enumerate([2.0, 4.0, 6.0]):
+            rrd.update(float(t), v)
+        assert rrd.mean() == pytest.approx(4.0)
+        assert rrd.maximum() == pytest.approx(6.0)
+
+    def test_empty_statistics_raise(self):
+        with pytest.raises(MonitoringError):
+            Rrd().mean()
+
+    def test_invalid_construction(self):
+        with pytest.raises(MonitoringError):
+            Rrd(step_s=0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
+    @settings(max_examples=30)
+    def test_property_mean_within_bounds(self, values):
+        rrd = Rrd(step_s=1.0, slots=100)
+        for t, v in enumerate(values):
+            rrd.update(float(t), v)
+        assert min(values) - 1e-9 <= rrd.mean() <= max(values) + 1e-9
+
+
+class TestGmond:
+    def test_poll_covers_core_metrics(self, ganglia_cluster):
+        _machine, cluster = ganglia_cluster
+        gmond = Gmond(cluster.frontend, cluster.frontend_db)
+        samples = {s.spec.name for s in gmond.poll(15.0)}
+        assert samples == set(CORE_METRICS)
+
+    def test_package_count_reflects_db(self, ganglia_cluster):
+        _machine, cluster = ganglia_cluster
+        gmond = Gmond(cluster.frontend, cluster.frontend_db)
+        pkg = next(
+            s for s in gmond.poll(15.0) if s.spec.name == "pkg_count"
+        )
+        assert pkg.value == float(len(cluster.frontend_db))
+
+    def test_failed_service_counted(self, ganglia_cluster):
+        _machine, cluster = ganglia_cluster
+        host = cluster.compute["compute-0-0"][0]
+        gmond = Gmond(host, cluster.compute["compute-0-0"][1])
+        host.services.fail("gmond")
+        failed = next(s for s in gmond.poll(1.0) if s.spec.name == "svc_failed")
+        assert failed.value == 1.0
+        host.services.start("gmond")
+
+    def test_traffic_counters_accumulate(self, ganglia_cluster):
+        _machine, cluster = ganglia_cluster
+        gmond = Gmond(cluster.frontend, cluster.frontend_db)
+        gmond.account_traffic(bytes_in=100.0)
+        gmond.account_traffic(bytes_in=50.0, bytes_out=10.0)
+        samples = {s.spec.name: s.value for s in gmond.poll(1.0)}
+        assert samples["bytes_in"] == 150.0
+        assert samples["bytes_out"] == 10.0
+        with pytest.raises(MonitoringError):
+            gmond.account_traffic(bytes_in=-1)
+
+    def test_wrong_host_db_rejected(self, ganglia_cluster):
+        _machine, cluster = ganglia_cluster
+        other_db = cluster.compute["compute-0-0"][1]
+        with pytest.raises(MonitoringError):
+            Gmond(cluster.frontend, other_db)
+
+
+class TestGmetad:
+    def test_full_cluster_mesh(self, ganglia_cluster):
+        machine, cluster = ganglia_cluster
+        gmetad = monitor_cluster(cluster)
+        summary = gmetad.run_cycles(4)
+        assert summary.hosts_up == 6
+        assert summary.total_cores == 12
+        assert gmetad.down_hosts() == []
+
+    def test_scheduler_load_integration(self, ganglia_cluster):
+        machine, cluster = ganglia_cluster
+        scheduler = MauiScheduler(ClusterResources(machine))
+        gmetad = monitor_cluster(cluster, scheduler=scheduler)
+        idle = gmetad.poll_cycle()
+        assert idle.load_total == 0.0
+        scheduler.submit(Job("busy", "a", cores=8, walltime_limit_s=100, runtime_s=50))
+        busy = gmetad.poll_cycle()
+        assert busy.load_total == pytest.approx(8.0)
+        scheduler.run_to_completion()
+        done = gmetad.poll_cycle()
+        assert done.load_total == 0.0
+
+    def test_down_host_detected(self, ganglia_cluster):
+        machine, cluster = ganglia_cluster
+        gmetad = monitor_cluster(cluster)
+        gmetad.poll_cycle()
+        node = machine.compute_nodes[-1]
+        node.powered_on = False
+        try:
+            summary = gmetad.poll_cycle()
+            assert summary.hosts_down == 1
+            assert len(gmetad.down_hosts()) == 1
+        finally:
+            node.powered_on = True
+
+    def test_dashboard_renders(self, ganglia_cluster):
+        _machine, cluster = ganglia_cluster
+        gmetad = monitor_cluster(cluster)
+        gmetad.poll_cycle()
+        text = gmetad.render_dashboard()
+        assert "Ganglia" in text
+        assert "compute-0-0" in text
+        assert "6/6 up" in text
+
+    def test_dashboard_before_polling_rejected(self, ganglia_cluster):
+        _machine, cluster = ganglia_cluster
+        gmetad = monitor_cluster(cluster)
+        with pytest.raises(MonitoringError):
+            gmetad.render_dashboard()
+
+    def test_duplicate_attach_rejected(self, ganglia_cluster):
+        _machine, cluster = ganglia_cluster
+        gmetad = Gmetad("x")
+        gmond = Gmond(cluster.frontend, cluster.frontend_db)
+        gmetad.attach(gmond)
+        with pytest.raises(MonitoringError):
+            gmetad.attach(gmond)
+
+    def test_unknown_metric_or_host_rejected(self, ganglia_cluster):
+        _machine, cluster = ganglia_cluster
+        gmetad = monitor_cluster(cluster)
+        with pytest.raises(MonitoringError):
+            gmetad.rrd_for(cluster.frontend.name, "bogus_metric")
+        with pytest.raises(MonitoringError):
+            gmetad.rrd_for("ghost-host", "load_one")
+
+    def test_history_retained_in_rrds(self, ganglia_cluster):
+        _machine, cluster = ganglia_cluster
+        gmetad = monitor_cluster(cluster)
+        gmetad.run_cycles(5)
+        rrd = gmetad.rrd_for(cluster.frontend.name, "cpu_num")
+        assert len(rrd.series()) == 5
+        assert rrd.mean() == pytest.approx(2.0)  # Celeron: 2 cores

@@ -1,0 +1,123 @@
+"""Integration extensions: MPI-on-allocation profiles and per-package
+update subscriptions."""
+
+import pytest
+
+from repro.errors import MpiError, YumError
+from repro.hardware import build_littlefe_modified
+from repro.mpi import run_allreduce_job, world_for_job
+from repro.network import build_cluster_network
+from repro.rpm import Package
+from repro.scheduler import ClusterResources, Job, MauiScheduler
+from repro.yum import NotifyPolicy, Repository, XSEDE_REPO_STANZA, YumClient
+
+
+@pytest.fixture
+def fabric_and_scheduler():
+    machine = build_littlefe_modified().machine
+    net = build_cluster_network(machine)
+    scheduler = MauiScheduler(ClusterResources(machine))
+    return machine, net, scheduler
+
+
+class TestMpiOnAllocation:
+    def test_world_matches_allocation(self, fabric_and_scheduler):
+        _machine, net, scheduler = fabric_and_scheduler
+        job = scheduler.submit(
+            Job("solver", "alice", cores=6, walltime_limit_s=600, runtime_s=60)
+        )
+        world = world_for_job(net.fabric, job)
+        assert world.size == 6
+        allocated = {name for name, _c in job.allocation.by_node}
+        assert set(world.rank_hosts) == allocated
+
+    def test_pending_job_has_no_world(self, fabric_and_scheduler):
+        _machine, net, scheduler = fabric_and_scheduler
+        scheduler.submit(Job("fill", "a", cores=10, walltime_limit_s=60, runtime_s=30))
+        waiting = scheduler.submit(
+            Job("waiting", "b", cores=10, walltime_limit_s=60, runtime_s=30)
+        )
+        with pytest.raises(MpiError, match="no allocation"):
+            world_for_job(net.fabric, waiting)
+
+    def test_profile_splits_compute_and_comm(self, fabric_and_scheduler):
+        _machine, net, scheduler = fabric_and_scheduler
+        job = scheduler.submit(
+            Job("cg", "alice", cores=8, walltime_limit_s=600, runtime_s=60)
+        )
+        world = world_for_job(net.fabric, job)
+        profile = run_allreduce_job(world, iterations=5, elements=4096)
+        assert profile.compute_s == pytest.approx(0.25)
+        assert profile.communication_s > 0
+        assert 0 < profile.parallel_efficiency < 1
+        assert profile.communication_fraction + profile.parallel_efficiency == pytest.approx(1.0)
+
+    def test_fewer_nodes_less_communication(self, fabric_and_scheduler):
+        """Packing ranks onto fewer nodes cuts communication time — the
+        reason the allocator packs fullest-first."""
+        machine, net, _ = fabric_and_scheduler
+        # 4 ranks on 2 nodes (packed) vs 4 ranks on 4 nodes (spread)
+        from repro.mpi import MpiWorld
+
+        names = [n.name for n in machine.compute_nodes]
+        packed = MpiWorld(net.fabric, [names[0], names[0], names[1], names[1]])
+        spread = MpiWorld(net.fabric, names[:4])
+        p_packed = run_allreduce_job(packed, iterations=3, elements=8192)
+        p_spread = run_allreduce_job(spread, iterations=3, elements=8192)
+        assert p_packed.communication_s < p_spread.communication_s
+
+    def test_bad_parameters_rejected(self, fabric_and_scheduler):
+        _machine, net, scheduler = fabric_and_scheduler
+        job = scheduler.submit(
+            Job("x", "a", cores=2, walltime_limit_s=60, runtime_s=30)
+        )
+        world = world_for_job(net.fabric, job)
+        with pytest.raises(MpiError):
+            run_allreduce_job(world, iterations=0)
+
+
+class TestUpdateSubscriptions:
+    def make_client(self, host):
+        repo = Repository("xsede", priority=50)
+        repo.add(Package(name="gromacs", version="4.6.5"))
+        repo.add(Package(name="R", version="3.1.1"))
+        client = YumClient(host)
+        client.configure_repo_file(
+            "xsede.repo", XSEDE_REPO_STANZA.render(), available={"xsede": repo}
+        )
+        client.install("gromacs")
+        client.install("R")
+        return client, repo
+
+    def test_watch_filters_reports(self, frontend_host):
+        client, repo = self.make_client(frontend_host)
+        repo.add(Package(name="gromacs", version="5.0.4"))
+        repo.add(Package(name="R", version="3.1.2"))
+        watcher = NotifyPolicy(client, watch=["R"])
+        report = watcher.run_cycle()
+        assert [u.name for u in report.pending] == ["R"]
+        everything = NotifyPolicy(client).run_cycle()
+        assert {u.name for u in everything.pending} == {"gromacs", "R"}
+
+    def test_subscribe_unsubscribe(self, frontend_host):
+        client, repo = self.make_client(frontend_host)
+        repo.add(Package(name="gromacs", version="5.0.4"))
+        watcher = NotifyPolicy(client, watch=["R"])
+        assert not watcher.run_cycle().has_updates  # R is current
+        watcher.subscribe("gromacs")
+        assert watcher.run_cycle().has_updates
+        watcher.unsubscribe("gromacs")
+        assert not watcher.run_cycle().has_updates
+
+    def test_subscribe_requires_names(self, frontend_host):
+        client, _repo = self.make_client(frontend_host)
+        with pytest.raises(YumError):
+            NotifyPolicy(client).subscribe()
+
+    def test_unwatched_update_still_pending_on_host(self, frontend_host):
+        """The watch filters notifications, not reality."""
+        client, repo = self.make_client(frontend_host)
+        repo.add(Package(name="gromacs", version="5.0.4"))
+        watcher = NotifyPolicy(client, watch=["R"])
+        watcher.run_cycle()
+        assert [u.name for u in client.check_update()] == ["gromacs"]

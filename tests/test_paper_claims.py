@@ -1,0 +1,153 @@
+"""End-to-end reproduction checks: one test per headline paper claim.
+
+These are the integration tests tying the whole stack together — each
+asserts a number or behaviour the paper states, through the same code paths
+the benchmark harness uses.
+"""
+
+import pytest
+
+from repro.core import (
+    TABLE3_SITES,
+    audit_host,
+    build_xnit_repository,
+    diff_environments,
+    table3_totals,
+    xsede_package_names,
+)
+from repro.linpack import benchmark_machine, price_performance
+
+
+class TestAbstractClaims:
+    def test_xcbc_is_all_at_once_from_scratch(self, xcbc_littlefe):
+        """One call takes bare validated hardware to a working cluster."""
+        cluster = xcbc_littlefe.cluster
+        assert cluster.frontend.services.is_running("pbs_server")
+        assert all(
+            host.services.is_running("pbs_mom") for host in cluster.hosts()[1:]
+        )
+
+    def test_xnit_installs_in_portions(self, xnit_limulus):
+        """Specific tools can be installed without rebuilding."""
+        client = xnit_limulus.client_for(xnit_limulus.frontend)
+        # the vendor stack from before integration is still there
+        assert client.db.has("limulus-manage")
+
+    def test_both_approaches_converge(self, xcbc_littlefe, xnit_limulus):
+        """The abstract's central claim, as an executable assertion."""
+        diff = diff_environments(
+            xcbc_littlefe.cluster.frontend_db,
+            xnit_limulus.client_for(xnit_limulus.frontend).db,
+        )
+        assert diff.converged
+        xcbc_audit = audit_host(
+            xcbc_littlefe.cluster.frontend, xcbc_littlefe.cluster.frontend_db
+        )
+        xnit_audit = audit_host(
+            xnit_limulus.frontend,
+            xnit_limulus.client_for(xnit_limulus.frontend).db,
+        )
+        assert xcbc_audit.overall == pytest.approx(xnit_audit.overall)
+        assert xcbc_audit.overall == pytest.approx(1.0)
+
+
+class TestTable3:
+    def test_published_totals(self):
+        assert table3_totals() == (304, 2708, 49.61)
+
+    def test_almost_50_tflops_claim(self):
+        # "Clusters making use of XCBC or XNIT total almost 50 TFLOPS"
+        _n, _c, tf = table3_totals()
+        assert 49.0 < tf < 50.0
+
+
+class TestTable4:
+    def test_row_littlefe(self, littlefe_quote):
+        m = littlefe_quote.machine
+        assert (m.node_count, m.clock_ghz, m.cpu_count, m.total_cores) == (
+            6, pytest.approx(2.8), 6, 12,
+        )
+
+    def test_row_limulus(self, limulus_quote):
+        m = limulus_quote.machine
+        assert (m.node_count, m.clock_ghz, m.cpu_count, m.total_cores) == (
+            4, pytest.approx(3.1), 4, 16,
+        )
+
+
+class TestTable5:
+    def test_littlefe_row(self, littlefe_quote):
+        # the table row uses the paper's own 75 %-of-peak estimation rule
+        report = benchmark_machine(littlefe_quote.machine, estimate_fraction=0.75)
+        pp = price_performance(report, littlefe_quote.quoted_usd)
+        assert report.rpeak_gflops == pytest.approx(537.6)
+        assert report.rmax_gflops == pytest.approx(403.2)
+        assert round(pp.usd_per_rpeak_gflops) == 7
+        assert round(pp.usd_per_rmax_gflops) == 9
+        assert report.estimated
+        # the model's genuine prediction lands near the paper's estimate
+        model = benchmark_machine(littlefe_quote.machine)
+        assert model.rmax_gflops == pytest.approx(403.2, rel=0.10)
+
+    def test_limulus_row(self, limulus_quote):
+        report = benchmark_machine(limulus_quote.machine)
+        pp = price_performance(report, limulus_quote.quoted_usd)
+        assert report.rpeak_gflops == pytest.approx(793.6)
+        assert report.rmax_gflops == pytest.approx(498.3, rel=0.05)
+        assert round(pp.usd_per_rpeak_gflops) == 8
+        assert round(pp.usd_per_rmax_gflops) == 12
+
+    def test_half_teraflops_deskside_under_4000(self, littlefe_quote):
+        # "A half-TeraFLOPS deskside cluster for under $4,000"
+        assert littlefe_quote.machine.rpeak_gflops > 500
+        assert littlefe_quote.quoted_usd < 4000
+
+    def test_three_quarter_teraflops_commercial(self, limulus_quote):
+        # "a roughly $6,000, three-quarter-TeraFLOPS deskside system"
+        assert limulus_quote.machine.rpeak_gflops > 750
+        assert limulus_quote.quoted_usd == pytest.approx(5995.0)
+
+    def test_littlefe_cheaper_per_gflops(self, littlefe_quote, limulus_quote):
+        # Section 8: "the LittleFe modified design we present offers
+        # performance comparable to the Limulus HPC200 at a lower price point"
+        lf = price_performance(
+            benchmark_machine(littlefe_quote.machine, estimate_fraction=0.75),
+            littlefe_quote.quoted_usd,
+        )
+        lm = price_performance(
+            benchmark_machine(limulus_quote.machine), limulus_quote.quoted_usd
+        )
+        assert lf.usd_per_rpeak_gflops < lm.usd_per_rpeak_gflops
+        assert lf.usd_per_rmax_gflops < lm.usd_per_rmax_gflops
+
+
+class TestSection5Engineering:
+    def test_rocks_needs_disks_story(self, original_littlefe_quote, littlefe_quote):
+        """Stock LittleFe (diskless) fails XCBC; modified build passes."""
+        from repro.core import build_xcbc_cluster
+        from repro.errors import ProvisionError
+
+        with pytest.raises(ProvisionError):
+            build_xcbc_cluster(original_littlefe_quote.machine)
+        report = build_xcbc_cluster(littlefe_quote.machine)
+        assert report.node_count == 6
+
+    def test_atom_vs_celeron_power_ratio(self):
+        from repro.hardware import ATOM_D510, CELERON_G1840
+
+        # 43.06 / 10.56 — the 4x power jump that forced per-node PSUs
+        ratio = CELERON_G1840.tdp_watts / ATOM_D510.tdp_watts
+        assert ratio == pytest.approx(4.08, abs=0.01)
+
+
+class TestRepositoryScale:
+    def test_xnit_superset_of_xcbc(self):
+        repo = build_xnit_repository()
+        catalogue = set(xsede_package_names())
+        assert catalogue <= repo.names()
+        assert repo.names() - catalogue  # strictly more
+
+    def test_dozens_of_packages_claim(self):
+        # "the XNIT Yum repository as a source of RPMs for dozens of useful
+        # software packages"
+        assert build_xnit_repository().package_count() > 100

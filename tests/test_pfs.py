@@ -1,0 +1,155 @@
+"""Parallel-filesystem tests: striping arithmetic, capacity, bandwidth."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs import (
+    LustreFs,
+    PfsError,
+    hawaii_storage,
+    montana_hyalite_storage,
+)
+
+
+def small_fs(**kw):
+    defaults = dict(
+        ost_count=4,
+        ost_capacity_bytes=100 * 1024**2,
+        default_stripe_count=1,
+    )
+    defaults.update(kw)
+    return LustreFs("testfs", **defaults)
+
+
+class TestStriping:
+    def test_single_stripe_lands_on_one_ost(self):
+        fs = small_fs()
+        record = fs.create("/scratch/a.dat", 10 * 1024**2)
+        assert record.layout.stripe_count == 1
+        charged = [o for o in fs.osts if o.used_bytes > 0]
+        assert len(charged) == 1
+        assert charged[0].used_bytes == 10 * 1024**2
+
+    def test_wide_stripe_spreads_evenly(self):
+        fs = small_fs()
+        size = 8 * 1024**2  # 8 stripes of 1 MiB over 4 OSTs -> 2 MiB each
+        record = fs.create("/scratch/wide.dat", size, stripe_count=4)
+        for index in record.layout.ost_indices:
+            assert record.chunk_bytes_on(index) == 2 * 1024**2
+
+    def test_tail_remainder_distributed_correctly(self):
+        fs = small_fs()
+        size = 2 * 1024**2 + 512 * 1024  # 2.5 MiB over 2 stripes
+        record = fs.create("/f", size, stripe_count=2)
+        a, b = record.layout.ost_indices
+        assert record.chunk_bytes_on(a) == 1 * 1024**2 + 512 * 1024
+        assert record.chunk_bytes_on(b) == 1 * 1024**2
+        assert record.chunk_bytes_on(99) == 0
+
+    def test_round_robin_ost_selection(self):
+        fs = small_fs()
+        first = fs.create("/a", 1024).layout.ost_indices[0]
+        second = fs.create("/b", 1024).layout.ost_indices[0]
+        assert first != second
+
+    def test_stripe_count_bounded_by_osts(self):
+        fs = small_fs()
+        with pytest.raises(PfsError, match="exceeds"):
+            fs.create("/too-wide", 1024, stripe_count=5)
+
+    @given(
+        st.integers(min_value=0, max_value=50 * 1024**2),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50)
+    def test_property_chunks_sum_to_file_size(self, size, stripes):
+        fs = small_fs(ost_capacity_bytes=10**9)
+        record = fs.create("/f", size, stripe_count=stripes)
+        total = sum(record.chunk_bytes_on(i) for i in record.layout.ost_indices)
+        assert total == size
+
+
+class TestCapacity:
+    def test_full_ost_rejects_even_when_fs_has_room(self):
+        # the classic Lustre gotcha: single-stripe files on a full OST
+        fs = small_fs(ost_count=2, ost_capacity_bytes=10 * 1024**2)
+        fs.create("/big1", 10 * 1024**2, stripe_count=1)  # fills OST0
+        fs.create("/big2", 10 * 1024**2, stripe_count=1)  # fills OST1
+        assert fs.free_bytes == 0
+        with pytest.raises(PfsError, match="full"):
+            fs.create("/one-more", 1024, stripe_count=1)
+
+    def test_failed_create_rolls_back_charges(self):
+        fs = small_fs(ost_count=2, ost_capacity_bytes=10 * 1024**2)
+        fs.create("/filler", 18 * 1024**2, stripe_count=2)  # 9 MiB each
+        used_before = fs.used_bytes
+        with pytest.raises(PfsError):
+            fs.create("/too-big", 4 * 1024**2, stripe_count=2)  # 2 MiB each > 1 free
+        assert fs.used_bytes == used_before
+
+    def test_unlink_releases(self):
+        fs = small_fs()
+        fs.create("/f", 5 * 1024**2)
+        fs.unlink("/f")
+        assert fs.used_bytes == 0
+        with pytest.raises(PfsError):
+            fs.unlink("/f")
+
+    def test_duplicate_path_rejected(self):
+        fs = small_fs()
+        fs.create("/f", 1)
+        with pytest.raises(PfsError, match="exists"):
+            fs.create("/f", 1)
+
+    def test_df_renders(self):
+        fs = small_fs()
+        fs.create("/f", 1024**2)
+        text = fs.df()
+        assert "testfs-OST0000" in text and "total" in text
+
+
+class TestBandwidth:
+    def test_wider_stripes_faster_with_many_clients(self):
+        fs = small_fs(ost_capacity_bytes=10**9)
+        fs.create("/narrow", 10**8, stripe_count=1)
+        fs.create("/wide", 10**8, stripe_count=4)
+        assert fs.io_time_s("/wide", clients=8) < fs.io_time_s("/narrow", clients=8)
+
+    def test_single_client_capped_by_its_link(self):
+        fs = small_fs(ost_capacity_bytes=10**9)
+        fs.create("/wide", 10**8, stripe_count=4)
+        # one GigE client cannot exceed its own NIC no matter the stripes
+        expected = 10**8 / 117.5e6
+        assert fs.io_time_s("/wide", clients=1) == pytest.approx(expected)
+
+    def test_offline_ost_degrades_then_fails(self):
+        fs = small_fs(ost_capacity_bytes=10**9)
+        record = fs.create("/f", 10**8, stripe_count=2)
+        healthy = fs.io_time_s("/f", clients=16)
+        fs.set_ost_online(record.layout.ost_indices[0], False)
+        degraded = fs.io_time_s("/f", clients=16)
+        assert degraded > healthy
+        fs.set_ost_online(record.layout.ost_indices[1], False)
+        with pytest.raises(PfsError, match="offline"):
+            fs.io_time_s("/f", clients=16)
+
+
+class TestTable3Storage:
+    def test_montana_300tb(self):
+        fs = montana_hyalite_storage()
+        assert fs.capacity_bytes == 300 * 10**12
+
+    def test_hawaii_40_plus_60(self):
+        persistent, scratch = hawaii_storage()
+        assert persistent.capacity_bytes == 40 * 10**12
+        assert scratch.capacity_bytes == 60 * 10**12
+        # scratch defaults to wide striping: built for bandwidth
+        assert scratch.default_stripe_count > persistent.default_stripe_count
+
+    def test_montana_can_hold_a_research_dataset(self):
+        fs = montana_hyalite_storage()
+        fs.create("/hyalite/genomes/run42.fastq", 2 * 10**12, stripe_count=8)
+        assert fs.used_bytes == 2 * 10**12
+        # 16 GigE clients reading it: OST bandwidth is not the bottleneck
+        assert fs.io_time_s("/hyalite/genomes/run42.fastq", clients=16) > 0

@@ -1,0 +1,96 @@
+"""Rocks lifecycle extensions: kickstart rendering, node replacement, and
+CLI showq/pbsnodes surfaces."""
+
+import pytest
+
+from repro.cli import ClusterShell
+from repro.errors import RocksError
+from repro.rocks import Profile, install_cluster
+from repro.rocks.installer import RocksInstaller
+from repro.scheduler import ClusterResources, Job, MauiScheduler
+
+
+class TestKickstartRendering:
+    def test_compute_profile_renders(self, xcbc_littlefe):
+        graph = xcbc_littlefe.cluster.graph
+        text = graph.render_kickstart(Profile.COMPUTE)
+        assert text.startswith("# Kickstart for appliance profile 'compute'")
+        assert "%packages" in text and "%end" in text
+        assert "gromacs" in text
+        assert "chkconfig pbs_mom on" in text
+        # frontend-only services must NOT appear on the compute profile
+        assert "chkconfig pbs_server on" not in text
+
+    def test_frontend_profile_has_post_actions(self, xcbc_littlefe):
+        graph = xcbc_littlefe.cluster.graph
+        text = graph.render_kickstart(Profile.FRONTEND)
+        assert "configure dual-homed network" in text
+        assert "chkconfig rocks-dhcpd on" in text
+
+    def test_render_is_deterministic(self, xcbc_littlefe):
+        graph = xcbc_littlefe.cluster.graph
+        assert graph.render_kickstart(Profile.COMPUTE) == graph.render_kickstart(
+            Profile.COMPUTE
+        )
+
+
+class TestNodeReplacement:
+    def test_replace_dead_node(self, littlefe_machine):
+        installer = RocksInstaller(littlefe_machine)
+        cluster = installer.run()
+        old_record = cluster.rocksdb.get("compute-0-2")
+        old_mac = old_record.mac
+        # the board dies
+        dead = next(
+            n for n in littlefe_machine.compute_nodes if n.mac_address == old_mac
+        )
+        dead.powered_on = False
+        host = installer.replace_node(
+            cluster, "compute-0-2", new_mac="02:xc:bc:ff:ff:01"
+        )
+        record = cluster.rocksdb.get("compute-0-2")
+        assert record.mac == "02:xc:bc:ff:ff:01"
+        assert record.ip == old_record.ip            # keeps its address
+        assert record.rank == old_record.rank        # and its position
+        # compute appliance: the mom runs, the server does not
+        assert host.services.is_running("pbs_mom")
+        assert not host.services.is_running("pbs_server")
+        assert cluster.db_for(host).has("torque")
+        assert "modules" in cluster.installed_everywhere()
+
+    def test_replace_frontend_refused(self, littlefe_machine):
+        installer = RocksInstaller(littlefe_machine)
+        cluster = installer.run()
+        with pytest.raises(RocksError, match="compute"):
+            installer.replace_node(
+                cluster, littlefe_machine.head.name, new_mac="02:aa"
+            )
+
+
+class TestSchedulerCli:
+    @pytest.fixture
+    def shell(self, xcbc_littlefe):
+        return ClusterShell(
+            xcbc_littlefe.cluster,
+            scheduler=MauiScheduler(
+                ClusterResources(xcbc_littlefe.cluster.machine)
+            ),
+        )
+
+    def test_showq_active_and_eligible(self, shell):
+        shell.run("qsub -N wide -u alice -c 10 -t 100 -w 600")
+        shell.run("qsub -N waiting -u bob -c 10 -t 50 -w 600")
+        output = shell.run("showq").output
+        assert "ACTIVE JOBS" in output and "ELIGIBLE JOBS" in output
+        assert "wide" in output and "waiting" in output
+        assert "Total jobs: 2" in output
+
+    def test_pbsnodes_states(self, shell):
+        shell.run("qsub -N filler -u alice -c 10 -t 100 -w 600")
+        output = shell.run("pbsnodes").output
+        assert "state = job-exclusive" in output
+        assert output.count("np = 2") == 5  # five Celeron compute nodes
+
+    def test_showq_requires_scheduler(self, xcbc_littlefe):
+        shell = ClusterShell(xcbc_littlefe.cluster)
+        assert not shell.run("showq").ok

@@ -1,0 +1,56 @@
+"""Unit-helper tests: conversions, formatting, and guard rails."""
+
+import pytest
+
+from repro import units
+
+
+def test_mhz_to_ghz():
+    assert units.mhz(2800) == pytest.approx(2.8)
+
+
+def test_tflops_to_gflops_roundtrip():
+    assert units.gflops_to_tflops(units.tflops(49.61)) == pytest.approx(49.61)
+
+
+def test_binary_sizes():
+    assert units.kib(1) == 1024
+    assert units.mib(1) == 1024**2
+    assert units.gib(4) == 4 * 1024**3
+    assert units.tib(1) == 1024**4
+
+
+def test_vendor_decimal_sizes():
+    assert units.gb(128) == 128 * 10**9
+    assert units.tb(2) == 2 * 10**12
+
+
+def test_dollars_per_gflops_matches_table5():
+    # LittleFe row: $3600 over 537.6 GFLOPS Rpeak -> ~$6.70 (prints as $7)
+    assert units.dollars_per_gflops(3600, 537.6) == pytest.approx(6.696, abs=0.01)
+    # Limulus row: $5995 over 793.6 -> ~$7.55 (prints as $8)
+    assert units.dollars_per_gflops(5995, 793.6) == pytest.approx(7.554, abs=0.01)
+
+
+def test_dollars_per_gflops_zero_rate_raises():
+    with pytest.raises(ZeroDivisionError):
+        units.dollars_per_gflops(100.0, 0.0)
+
+
+def test_fmt_bytes_scales():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(units.kib(2)) == "2.0 KiB"
+    assert units.fmt_bytes(units.gib(1)) == "1.0 GiB"
+
+
+def test_fmt_usd_integer_and_cents():
+    assert units.fmt_usd(3600) == "$3,600"
+    assert units.fmt_usd(7.5) == "$7.50"
+
+
+def test_fmt_tflops():
+    assert units.fmt_tflops(537.6) == "0.54 TFLOPS"
+
+
+def test_fmt_watts():
+    assert units.fmt_watts(43.06) == "43.06 W"

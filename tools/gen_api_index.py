@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerate docs/API.md from the package's ``__all__`` declarations.
+
+Run from the repository root::
+
+    python tools/gen_api_index.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+
+def generate() -> str:
+    import repro
+
+    lines = [
+        "# API index",
+        "",
+        "The public surface, generated from each module's `__all__`"
+        " (regenerate with `python tools/gen_api_index.py`).",
+        "",
+    ]
+    modules = sorted(
+        pkgutil.walk_packages(repro.__path__, prefix="repro."),
+        key=lambda info: info.name,
+    )
+    for info in modules:
+        module = importlib.import_module(info.name)
+        names = getattr(module, "__all__", None)
+        if not names:
+            continue
+        headline = (module.__doc__ or "").strip().splitlines()[0]
+        lines += [f"## `{info.name}`", "", headline, ""]
+        for name in names:
+            obj = getattr(module, name)
+            if inspect.isclass(obj):
+                kind = "class"
+            elif inspect.isfunction(obj):
+                kind = "function"
+            elif inspect.ismodule(obj):
+                continue
+            else:
+                kind = "constant"
+            first = ""
+            if kind in ("class", "function"):
+                doc = inspect.getdoc(obj)
+                first = doc.splitlines()[0] if doc else ""
+            lines.append(
+                f"- **{name}** ({kind}){': ' + first if first else ''}"
+            )
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> None:
+    out = pathlib.Path(__file__).parent.parent / "docs" / "API.md"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(generate())
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()
