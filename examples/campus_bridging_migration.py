@@ -85,5 +85,13 @@ def main() -> None:
         print(f"  {label}: {job.name} -> {job.state.value} on {job.allocation}")
 
 
+def cluster_definition():
+    """Pre-flight view of the campus cluster, for ``cluster-lint``."""
+    from repro.core import xcbc_cluster_definition
+
+    machine = build_littlefe_modified().machine
+    return xcbc_cluster_definition(machine, name="campus-bridge")
+
+
 if __name__ == "__main__":
     main()

@@ -67,5 +67,14 @@ def main() -> None:
           f"{len(failures)} failures ---")
 
 
+def cluster_definition():
+    """The recipe of the provisioned cluster the session drives, linted
+    post-hoc via ``ClusterDefinition.from_cluster`` (``cluster-lint``)."""
+    from repro.analyze import ClusterDefinition
+
+    report = build_xcbc_cluster(build_littlefe_modified().machine)
+    return ClusterDefinition.from_cluster(report.cluster, name="shell-session")
+
+
 if __name__ == "__main__":
     main()

@@ -99,5 +99,27 @@ def main() -> None:
               f"over 4 years)")
 
 
+def cluster_definition():
+    """Both deskside machines, linted in one ``cluster-lint`` run (the CLI
+    accepts a list of definitions from one file)."""
+    from repro.analyze import ClusterDefinition
+    from repro.scheduler import default_queue_for
+
+    definitions = []
+    for quote, label in (
+        (build_littlefe_modified(), "deskside-littlefe"),
+        (build_limulus_hpc200(), "deskside-limulus"),
+    ):
+        machine = quote.machine
+        definitions.append(
+            ClusterDefinition(
+                name=label,
+                machine=machine,
+                queues=(default_queue_for(machine),),
+            )
+        )
+    return definitions
+
+
 if __name__ == "__main__":
     main()

@@ -81,5 +81,27 @@ def main() -> None:
     print(f"R available on the frontend: {cluster.frontend.has_command('R')}")
 
 
+def cluster_definition():
+    """Pre-flight view of the retrofit, for ``cluster-lint``.
+
+    Carries the Section 3 .repo stanza verbatim — its ``gpgcheck=0`` is an
+    RC204 info finding, accepted in examples/lint_baseline.json because the
+    XSEDE repository README specifies exactly that line.
+    """
+    from repro.analyze import ClusterDefinition
+    from repro.hardware import build_limulus_hpc200
+    from repro.scheduler import default_queue_for
+    from repro.yum.repoconfig import XSEDE_REPO_STANZA
+
+    machine = build_limulus_hpc200().machine
+    return ClusterDefinition(
+        name="limulus-xnit",
+        machine=machine,
+        repo_stanzas=(XSEDE_REPO_STANZA,),
+        required_repo_ids=(XSEDE_REPO_STANZA.repo_id,),
+        queues=(default_queue_for(machine),),
+    )
+
+
 if __name__ == "__main__":
     main()

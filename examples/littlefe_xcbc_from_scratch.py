@@ -71,5 +71,13 @@ def main() -> None:
     print(render_littlefe(quote.machine, view="rear"))
 
 
+def cluster_definition():
+    """Pre-flight view of the step-4 build, for ``cluster-lint``."""
+    from repro.core import xcbc_cluster_definition
+    from repro.hardware import build_littlefe_modified
+
+    return xcbc_cluster_definition(build_littlefe_modified().machine)
+
+
 if __name__ == "__main__":
     main()

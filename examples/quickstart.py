@@ -52,5 +52,12 @@ def main() -> None:
           f"{hpl.rpeak_gflops:.1f} GFLOPS ({hpl.efficiency:.0%})")
 
 
+def cluster_definition():
+    """Pre-flight view of this example's build, for ``cluster-lint``."""
+    from repro.core import xcbc_cluster_definition
+
+    return xcbc_cluster_definition(build_littlefe_modified().machine)
+
+
 if __name__ == "__main__":
     main()

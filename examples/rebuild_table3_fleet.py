@@ -79,5 +79,18 @@ def main() -> None:
           f"(~{annual:.0%}/year) from here.")
 
 
+def cluster_definition():
+    """Pre-flight views of every Table 3 site's hardware, for
+    ``cluster-lint`` — each site is one definition in the run."""
+    from repro.analyze import ClusterDefinition
+
+    return [
+        ClusterDefinition(
+            name=site.site[:40], machine=rebuild_site_hardware(site)
+        )
+        for site in TABLE3_SITES
+    ]
+
+
 if __name__ == "__main__":
     main()

@@ -29,5 +29,14 @@ def main() -> None:
           f"support diskless nodes), and the later steps inherit the hole.")
 
 
+def cluster_definition():
+    """Pre-flight view of the hardware cohort A builds, for ``cluster-lint``."""
+    from repro.core import xcbc_cluster_definition
+    from repro.hardware import build_littlefe_modified
+
+    machine = build_littlefe_modified().machine
+    return xcbc_cluster_definition(machine, name="workshop-littlefe")
+
+
 if __name__ == "__main__":
     main()

@@ -1,0 +1,17 @@
+"""``python -m repro.analyze`` — the cluster-lint entry point."""
+
+import os
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        status = main()
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe; exit the
+        # way a killed filter would, without a traceback.  Redirect stdout
+        # to devnull first so interpreter shutdown does not retry the flush.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        status = 128 + 13
+    sys.exit(status)

@@ -1,0 +1,217 @@
+"""The ``cluster-lint`` command line: lint cluster-definition files.
+
+A definition file is any Python file exposing either a zero-argument
+``cluster_definition()`` callable or a module-level ``DEFINITION`` object
+returning/holding a :class:`~repro.analyze.spec.ClusterDefinition` — every
+file under ``examples/`` does.  Exit codes follow linter convention so CI
+can gate directly on the process status:
+
+* ``0`` — no finding at/above the failure threshold (default: error);
+* ``1`` — at least one gating finding;
+* ``2`` — usage or definition-load failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import pathlib
+import sys
+
+from .diagnostic import Severity
+from .engine import AnalysisResult, analyze
+from .registry import RULES, AnalysisConfig, Baseline
+from .spec import ClusterDefinition
+
+__all__ = ["main", "load_definitions"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+class DefinitionLoadError(Exception):
+    """A definition file could not be loaded or carries no definition."""
+
+
+def load_definitions(path: str | pathlib.Path) -> list[ClusterDefinition]:
+    """Import a Python file and pull its cluster definition(s) out.
+
+    Looks for ``cluster_definition()`` (callable, may return one definition
+    or a list) first, then a module-level ``DEFINITION``.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise DefinitionLoadError(f"{path}: no such file")
+    spec = importlib.util.spec_from_file_location(
+        f"cluster_lint_{path.stem}", path
+    )
+    if spec is None or spec.loader is None:
+        raise DefinitionLoadError(f"{path}: not an importable Python file")
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        raise DefinitionLoadError(f"{path}: import failed: {exc}") from exc
+
+    source = getattr(module, "cluster_definition", None)
+    if callable(source):
+        try:
+            produced = source()
+        except Exception as exc:
+            raise DefinitionLoadError(
+                f"{path}: cluster_definition() raised: {exc}"
+            ) from exc
+    else:
+        produced = getattr(module, "DEFINITION", None)
+        if produced is None:
+            raise DefinitionLoadError(
+                f"{path}: defines neither cluster_definition() nor DEFINITION"
+            )
+    definitions = list(produced) if isinstance(produced, (list, tuple)) else [produced]
+    for definition in definitions:
+        if not isinstance(definition, ClusterDefinition):
+            raise DefinitionLoadError(
+                f"{path}: expected ClusterDefinition, got "
+                f"{type(definition).__name__}"
+            )
+    return definitions
+
+
+def _list_rules() -> str:
+    lines = ["CODE    SEVERITY  SUBSYSTEM   SUMMARY"]
+    for rule in RULES.all_rules():
+        lines.append(
+            f"{rule.code:<8}{rule.severity.value:<10}{rule.subsystem:<12}"
+            f"{rule.summary}"
+        )
+    return "\n".join(lines)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cluster-lint",
+        description="Pre-flight static analysis of cluster definitions.",
+    )
+    parser.add_argument(
+        "files", nargs="*", help="Python files exposing cluster_definition()"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format_"
+    )
+    parser.add_argument(
+        "--only", default="", help="comma-separated rule codes to run exclusively"
+    )
+    parser.add_argument(
+        "--disable", default="", help="comma-separated rule codes to skip"
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "never"),
+        default="error",
+        help="minimum severity that fails the run (default: error)",
+    )
+    parser.add_argument(
+        "--baseline", default="", help="baseline suppression file to apply"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default="",
+        metavar="PATH",
+        help="write current findings to PATH as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    return parser
+
+
+def _parse_codes(raw: str) -> frozenset[str]:
+    return frozenset(c.strip() for c in raw.split(",") if c.strip())
+
+
+def main(argv: list[str] | None = None, *, stdout=None) -> int:
+    out = stdout or sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules(), file=out)
+        return EXIT_CLEAN
+    if not args.files:
+        parser.print_usage(out)
+        print("cluster-lint: error: no definition files given", file=out)
+        return EXIT_USAGE
+
+    unknown = [
+        c for c in (_parse_codes(args.only) | _parse_codes(args.disable))
+        if c not in RULES
+    ]
+    if unknown:
+        print(f"cluster-lint: error: unknown rule code(s): {sorted(unknown)}", file=out)
+        return EXIT_USAGE
+
+    if args.fail_on == "never":
+        # A threshold below every severity: nothing can gate.
+        fail_on = Severity.INFO
+        never_fail = True
+    else:
+        fail_on = Severity(args.fail_on)
+        never_fail = False
+    config = AnalysisConfig(
+        only=_parse_codes(args.only) or None,
+        disabled=_parse_codes(args.disable),
+        fail_on=fail_on,
+    )
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.from_text(
+                pathlib.Path(args.baseline).read_text()
+            )
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cluster-lint: error: bad baseline: {exc}", file=out)
+            return EXIT_USAGE
+
+    results: list[AnalysisResult] = []
+    for path in args.files:
+        try:
+            definitions = load_definitions(path)
+        except DefinitionLoadError as exc:
+            print(f"cluster-lint: error: {exc}", file=out)
+            return EXIT_USAGE
+        for definition in definitions:
+            results.append(
+                analyze(definition, config=config, baseline=baseline)
+            )
+
+    if args.write_baseline:
+        merged = Baseline()
+        for result in results:
+            for diag in result.diagnostics:
+                merged.add(diag, "accepted by --write-baseline")
+        pathlib.Path(args.write_baseline).write_text(merged.to_text())
+        print(
+            f"cluster-lint: wrote {len(merged.suppressions)} suppression(s) "
+            f"to {args.write_baseline}",
+            file=out,
+        )
+        return EXIT_CLEAN
+
+    if args.format_ == "json":
+        document = {
+            "schema": "repro.analyze.run/v1",
+            "results": [r.to_dict() for r in results],
+        }
+        print(json.dumps(document, indent=2), file=out)
+    else:
+        for result in results:
+            print(result.render_text(), file=out)
+
+    if never_fail:
+        return EXIT_CLEAN
+    return (
+        EXIT_FINDINGS if any(r.failed for r in results) else EXIT_CLEAN
+    )

@@ -1,0 +1,12 @@
+"""Analyzer passes, one module per declarative layer.
+
+Importing this package registers every rule in
+:data:`repro.analyze.registry.RULES`; the engine holds the ordered pass
+list.  Each module exposes ``run(definition, emit)`` where ``emit`` is the
+engine-provided diagnostic sink.
+"""
+
+from .. import txn as _txn  # noqa: F401 - registers the TX7xx catalogue
+from . import hardware, kickstart, network, repos, rpmdeps, scheduler
+
+__all__ = ["kickstart", "repos", "rpmdeps", "network", "scheduler", "hardware"]

@@ -1,0 +1,132 @@
+"""Hardware-build checks: the assembly rules as lint instead of exceptions.
+
+:func:`~repro.hardware.chassis.populate` raises
+:class:`~repro.errors.AssemblyError`/:class:`~repro.errors.PowerBudgetError`
+on the *first* violation it meets.  The analyzer walks the same rules over a
+:class:`~repro.analyze.spec.HardwarePlan` and reports *all* of them, plus a
+margin warning the assembler has no vocabulary for: a budget that fits today
+but leaves less than 10 % of the supply's rating spare.
+"""
+
+from __future__ import annotations
+
+from ...hardware.node import NodeRole
+from ...hardware.power import DEFAULT_HEADROOM
+from ..diagnostic import Severity
+from ..registry import rule
+
+#: Margin (fraction of PSU rating) under which HW602 warns.
+THIN_MARGIN_FRACTION = 0.10
+
+HW601 = rule(
+    "HW601",
+    "hardware",
+    Severity.ERROR,
+    "power draw with headroom exceeds the supply rating",
+    "use a bigger supply or per-node supplies — the modified-LittleFe fix "
+    "(Section 5.1)",
+)
+HW602 = rule(
+    "HW602",
+    "hardware",
+    Severity.WARNING,
+    "power margin after headroom is under 10% of the supply rating",
+    "the build fits, barely; one more drive or DIMM tips it over",
+)
+HW603 = rule(
+    "HW603",
+    "hardware",
+    Severity.ERROR,
+    "PSU arrangement conflicts with the chassis",
+    "shared-supply chassis: nodes must not carry PSUs; otherwise every "
+    "node needs its own",
+)
+HW604 = rule(
+    "HW604",
+    "hardware",
+    Severity.ERROR,
+    "more nodes than the chassis has slots",
+    "drop nodes or pick a bigger chassis",
+)
+HW605 = rule(
+    "HW605",
+    "hardware",
+    Severity.ERROR,
+    "machine does not have exactly one frontend node",
+    "Rocks needs one dual-homed frontend; retag the nodes",
+)
+
+
+def run(definition, emit) -> None:
+    plan = definition.effective_hardware_plan()
+    if plan is None:
+        return
+    chassis = plan.chassis
+    nodes = plan.nodes
+    where = f"hardware:{chassis.model}"
+
+    if len(nodes) > chassis.slots:
+        emit(
+            "HW604",
+            f"{len(nodes)} nodes for the {chassis.slots} slots of "
+            f"{chassis.model!r}",
+            location=where,
+        )
+
+    heads = [n for n in nodes if n.role == NodeRole.FRONTEND]
+    if len(heads) != 1:
+        emit(
+            "HW605",
+            f"expected exactly one frontend node, found {len(heads)}",
+            location=where,
+        )
+
+    shared = plan.effective_shared_psu
+    if shared is not None:
+        offenders = [n.name for n in nodes if n.psu is not None]
+        if offenders:
+            emit(
+                "HW603",
+                f"chassis supplies shared power ({shared.model}) but nodes "
+                f"carry their own PSUs: {offenders}",
+                location=where,
+            )
+        draw = sum(n.draw_watts for n in nodes)
+        _check_budget(
+            emit, shared, draw, what=f"{chassis.model} (shared supply)",
+            location=where,
+        )
+    else:
+        for node in nodes:
+            if node.psu is None:
+                emit(
+                    "HW603",
+                    f"chassis {chassis.model!r} provides no shared PSU and "
+                    f"node {node.name!r} carries none either",
+                    location=f"hardware:node/{node.name}",
+                )
+            else:
+                _check_budget(
+                    emit, node.psu, node.draw_watts, what=f"node {node.name}",
+                    location=f"hardware:node/{node.name}",
+                )
+
+
+def _check_budget(emit, psu, draw_watts, *, what, location) -> None:
+    """The assembly-time power rule, emitted instead of raised."""
+    required = draw_watts * DEFAULT_HEADROOM
+    if required > psu.rating_watts:
+        emit(
+            "HW601",
+            f"{what}: draw {draw_watts:.2f} W x headroom "
+            f"{DEFAULT_HEADROOM:.2f} = {required:.2f} W exceeds "
+            f"{psu.model} rating {psu.rating_watts:.0f} W",
+            location=location,
+        )
+    elif psu.rating_watts - required < THIN_MARGIN_FRACTION * psu.rating_watts:
+        emit(
+            "HW602",
+            f"{what}: only {psu.rating_watts - required:.1f} W of "
+            f"{psu.model}'s {psu.rating_watts:.0f} W remain after headroom",
+            location=location,
+        )

@@ -1,0 +1,114 @@
+"""Kickstart-graph checks: the layer that decides what lands on each node.
+
+The graph validates hard errors eagerly (unknown edge endpoints, cycles at
+resolve time), but a *well-formed* graph can still encode a broken recipe:
+nodes no appliance reaches, roll packages no profile pulls in, the same
+post-install action queued twice.  Those only surface — silently — on the
+installed cluster, which is exactly what pre-flight lint is for.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..diagnostic import Severity
+from ..registry import rule
+
+KS101 = rule(
+    "KS101",
+    "kickstart",
+    Severity.ERROR,
+    "kickstart graph contains an include cycle",
+    "break the cycle; Rocks resolves profiles depth-first and will refuse this graph",
+)
+KS102 = rule(
+    "KS102",
+    "kickstart",
+    Severity.WARNING,
+    "graph node is unreachable from every appliance profile",
+    "attach the node to a profile with add_edge, or delete it",
+)
+KS103 = rule(
+    "KS103",
+    "kickstart",
+    Severity.WARNING,
+    "roll package is referenced by no appliance profile",
+    "reference the package from a graph node reachable from a profile, "
+    "or drop it from the roll",
+)
+KS104 = rule(
+    "KS104",
+    "kickstart",
+    Severity.WARNING,
+    "post-install action runs more than once for one profile",
+    "post actions execute in closure order; deduplicate the contributing "
+    "graph nodes",
+)
+KS105 = rule(
+    "KS105",
+    "kickstart",
+    Severity.ERROR,
+    "appliance profile root is missing from the graph",
+    "add a graph node named after the profile (Rocks roots resolution there)",
+)
+
+
+def run(definition, emit) -> None:
+    graph = definition.graph
+    if graph is None:
+        return
+
+    present_profiles = []
+    for profile in definition.profiles:
+        if not graph.has_node(profile):
+            emit(
+                "KS105",
+                f"appliance profile {profile!r} has no root node in the graph",
+                location=f"kickstart:profile/{profile}",
+            )
+        else:
+            present_profiles.append(profile)
+
+    cycle = graph.find_cycle()
+    if cycle is not None:
+        emit(
+            "KS101",
+            "include cycle: " + " -> ".join(cycle),
+            location=f"kickstart:node/{cycle[0]}",
+        )
+        # Closure-based checks below would raise on the cycle; stop here.
+        return
+
+    reachable = graph.reachable_from(list(present_profiles))
+    for name in graph.nodes():
+        if name not in reachable:
+            emit(
+                "KS102",
+                f"graph node {name!r} (roll {graph.node(name).roll!r}) is "
+                f"not reachable from any appliance profile",
+                location=f"kickstart:node/{name}",
+            )
+
+    referenced: set[str] = set()
+    for profile in present_profiles:
+        referenced.update(graph.resolve_packages(profile))
+    for roll in definition.rolls:
+        for pkg in roll.packages:
+            if pkg.name not in referenced:
+                emit(
+                    "KS103",
+                    f"package {pkg.name!r} is carried by roll {roll.name!r} "
+                    f"but no appliance profile installs it",
+                    location=f"kickstart:package/{pkg.name}",
+                )
+
+    for profile in present_profiles:
+        counts = Counter(graph.resolve_actions(profile))
+        for action, count in sorted(counts.items()):
+            if count > 1:
+                emit(
+                    "KS104",
+                    f"post action {action!r} runs {count} times for "
+                    f"profile {profile!r}",
+                    location=f"kickstart:profile/{profile}",
+                )

@@ -1,0 +1,87 @@
+"""Network-plan checks: the DHCP pool versus the nodes that will boot.
+
+insert-ethers registers every compute node through the frontend's DHCP pool,
+one lease per MAC, and the pool never recycles addresses within a lease
+epoch — so a pool smaller than the node count is a guaranteed mid-install
+:class:`~repro.errors.DhcpError`, and a duplicate MAC silently registers one
+node instead of two.  Both are knowable before a single node powers on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..diagnostic import Severity
+from ..registry import rule
+
+NET401 = rule(
+    "NET401",
+    "network",
+    Severity.ERROR,
+    "DHCP pool is smaller than the number of nodes to install",
+    "widen pool_start..pool_end (or split racks across segments); "
+    "insert-ethers needs one lease per compute node",
+)
+NET402 = rule(
+    "NET402",
+    "network",
+    Severity.ERROR,
+    "duplicate MAC address in the insert-ethers feed",
+    "two nodes share a MAC; only one will register — fix the inventory",
+)
+NET403 = rule(
+    "NET403",
+    "network",
+    Severity.WARNING,
+    "dynamic pool covers the frontend's own address",
+    "start the pool at .2 or later; the frontend owns .1 on the segment",
+)
+NET404 = rule(
+    "NET404",
+    "network",
+    Severity.ERROR,
+    "DHCP pool bounds are invalid",
+    "pool must satisfy 0 < start <= end <= 254",
+)
+
+
+def run(definition, emit) -> None:
+    plan = definition.dhcp_plan
+    macs = definition.effective_macs()
+    if plan is None and not macs:
+        return
+
+    if plan is not None:
+        where = f"network:{plan.network_prefix}.0/24"
+        if not plan.is_valid:
+            emit(
+                "NET404",
+                f"pool {plan.pool_start}..{plan.pool_end} is not a valid "
+                f"range within 1..254",
+                location=where,
+            )
+        else:
+            if macs and len(macs) > plan.capacity:
+                emit(
+                    "NET401",
+                    f"{len(macs)} nodes need leases but the pool "
+                    f"{plan.network_prefix}.{plan.pool_start}-"
+                    f"{plan.pool_end} holds only {plan.capacity}",
+                    location=where,
+                )
+            if plan.covers_host(1):
+                emit(
+                    "NET403",
+                    f"pool starts at .{plan.pool_start} and would hand out "
+                    f"the frontend's own address {plan.server_ip}",
+                    location=where,
+                )
+
+    counts = Counter(macs)
+    for mac, count in sorted(counts.items()):
+        if count > 1:
+            emit(
+                "NET402",
+                f"MAC {mac} appears {count} times in the insert-ethers feed",
+                location=f"network:mac/{mac}",
+            )

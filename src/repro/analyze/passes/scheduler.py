@@ -1,0 +1,72 @@
+"""Scheduler-config checks: declared queues versus the hardware inventory.
+
+A queue naming a node the cluster does not have never errors at deploy time
+— jobs just pend forever, the classic "the cluster is slow" ticket that is
+actually a typo in a node list.  With the hardware plan in hand these are
+static facts.
+"""
+
+from __future__ import annotations
+
+from ..diagnostic import Severity
+from ..registry import rule
+
+SCH501 = rule(
+    "SCH501",
+    "scheduler",
+    Severity.ERROR,
+    "queue references a node that is not in the hardware inventory",
+    "fix the node name or remove it; jobs routed there will pend forever",
+)
+SCH502 = rule(
+    "SCH502",
+    "scheduler",
+    Severity.ERROR,
+    "queue's per-job core cap exceeds what its nodes physically have",
+    "cap max_cores_per_job at the sum of the queue's node cores",
+)
+SCH503 = rule(
+    "SCH503",
+    "scheduler",
+    Severity.WARNING,
+    "queue has no nodes",
+    "an empty queue accepts jobs it can never start; add nodes or drop it",
+)
+
+
+def run(definition, emit) -> None:
+    if not definition.queues:
+        return
+    plan = definition.effective_hardware_plan()
+    inventory = {n.name: n for n in plan.nodes} if plan is not None else None
+
+    for queue in definition.queues:
+        where = f"scheduler:queue/{queue.name}"
+        if not queue.node_names:
+            emit("SCH503", f"queue {queue.name!r} lists no nodes", location=where)
+            continue
+        known_cores = 0
+        complete = True
+        for node_name in queue.node_names:
+            if inventory is None:
+                complete = False
+                continue
+            node = inventory.get(node_name)
+            if node is None:
+                complete = False
+                emit(
+                    "SCH501",
+                    f"queue {queue.name!r} references node {node_name!r}, "
+                    f"which the hardware inventory does not contain",
+                    location=where,
+                )
+            else:
+                known_cores += node.cores
+        # Only meaningful when every named node resolved to hardware.
+        if complete and queue.max_cores_per_job > known_cores:
+            emit(
+                "SCH502",
+                f"queue {queue.name!r} allows {queue.max_cores_per_job}-core "
+                f"jobs but its nodes total {known_cores} cores",
+                location=where,
+            )

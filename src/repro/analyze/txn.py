@@ -1,0 +1,59 @@
+"""Rule catalogue for RPM transaction validation (TX7xx).
+
+These rules are emitted by :meth:`repro.rpm.transaction.Transaction.
+check_diagnostics` rather than by an analyzer pass: transaction validation
+runs inside the deployment simulation, but speaks the same diagnostic
+vocabulary so tooling can treat "pre-flight lint" and "transaction refused"
+findings uniformly.  This module must stay import-light — it is pulled in
+by :mod:`repro.rpm.transaction`, far below the analyzer.
+"""
+
+from __future__ import annotations
+
+from .diagnostic import Severity
+from .registry import rule
+
+__all__ = ["TX701", "TX702", "TX703", "TX704", "TX705", "TX706"]
+
+TX701 = rule(
+    "TX701",
+    "transaction",
+    Severity.ERROR,
+    "package architecture does not match the host",
+    "rebuild for the host arch or use a noarch package",
+)
+TX702 = rule(
+    "TX702",
+    "transaction",
+    Severity.ERROR,
+    "erase names a package that is not installed",
+    "check the package name; nothing to erase",
+)
+TX703 = rule(
+    "TX703",
+    "transaction",
+    Severity.ERROR,
+    "package is already installed at this exact version",
+    "drop the install; it would be a no-op reinstall",
+)
+TX704 = rule(
+    "TX704",
+    "transaction",
+    Severity.ERROR,
+    "install would silently replace an installed version",
+    "use Transaction.upgrade (or erase+install) to change versions",
+)
+TX705 = rule(
+    "TX705",
+    "transaction",
+    Severity.ERROR,
+    "a requirement of the final package set has no provider",
+    "add the providing package to the transaction",
+)
+TX706 = rule(
+    "TX706",
+    "transaction",
+    Severity.ERROR,
+    "two packages in the final set declare a conflict",
+    "erase one side or pick non-conflicting versions",
+)

@@ -366,6 +366,36 @@ class ClusterShell:
         user = self.current.users.add_user(args[0])
         return f"created {user.name} (uid {user.uid}, home {user.home})"
 
+    # -- static analysis ---------------------------------------------------------
+
+    def _cmd_cluster_lint(self, args: list[str]) -> str:
+        """cluster-lint [--json] [--fail-on error|warning|info]: run the
+        pre-flight analyzer over this cluster's own recipe."""
+        from .analyze import AnalysisConfig, ClusterDefinition, Severity, analyze
+
+        fail_on = Severity.ERROR
+        as_json = False
+        it = iter(args)
+        for token in it:
+            if token == "--json":
+                as_json = True
+            elif token == "--fail-on":
+                value = next(it, "")
+                try:
+                    fail_on = Severity(value)
+                except ValueError:
+                    raise CommandError(
+                        f"cluster-lint: bad --fail-on {value!r} "
+                        f"(error|warning|info)"
+                    )
+            else:
+                raise CommandError(
+                    "usage: cluster-lint [--json] [--fail-on <severity>]"
+                )
+        definition = ClusterDefinition.from_cluster(self.cluster)
+        result = analyze(definition, config=AnalysisConfig(fail_on=fail_on))
+        return result.render_json() if as_json else result.render_text()
+
     # -- roll-provided tools ----------------------------------------------------
 
     def _cmd_condor_status(self, args: list[str]) -> str:

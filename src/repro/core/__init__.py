@@ -72,7 +72,12 @@ from .training import (
     TrainingSession,
     littlefe_xcbc_module,
 )
-from .xcbc import XcbcBuildReport, build_xcbc_cluster, build_xsede_roll
+from .xcbc import (
+    XcbcBuildReport,
+    build_xcbc_cluster,
+    build_xsede_roll,
+    xcbc_cluster_definition,
+)
 from .xnit import (
     IntegrationReport,
     XSEDE_RELEASE_RPM,
@@ -88,6 +93,7 @@ __all__ = [
     # xcbc
     "build_xsede_roll",
     "build_xcbc_cluster",
+    "xcbc_cluster_definition",
     "XcbcBuildReport",
     # xnit
     "build_xnit_repository",

@@ -12,16 +12,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..analyze.spec import ClusterDefinition
 from ..errors import RocksError
 from ..hardware.chassis import Machine
-from ..rocks.installer import ProvisionedCluster, install_cluster
+from ..network.dhcp import DhcpPlan
+from ..rocks.installer import ProvisionedCluster, RocksInstaller, install_cluster
 from ..rocks.kickstart import Profile
 from ..rocks.roll import Roll, RollGraphFragment
 from ..rocks.rolls_catalog import optional_rolls
+from ..scheduler.queues import default_queue_for
 from .packages_xsede import CATEGORY_XSEDE
 from .release import CURRENT_RELEASE, get_xcbc_release, packages_for_release
 
-__all__ = ["build_xsede_roll", "build_xcbc_cluster", "XcbcBuildReport"]
+__all__ = [
+    "build_xsede_roll",
+    "build_xcbc_cluster",
+    "xcbc_cluster_definition",
+    "XcbcBuildReport",
+]
 
 
 def build_xsede_roll(version: str = CURRENT_RELEASE.version) -> Roll:
@@ -112,4 +120,39 @@ def build_xcbc_cluster(
     )
     return XcbcBuildReport(
         cluster=cluster, roll_version=roll_version, scheduler=scheduler
+    )
+
+
+def xcbc_cluster_definition(
+    machine: Machine,
+    *,
+    scheduler: str = "torque",
+    roll_version: str = CURRENT_RELEASE.version,
+    include_optional_rolls: bool = True,
+    name: str | None = None,
+) -> ClusterDefinition:
+    """The pre-flight view of an XCBC build: everything the static analyzer
+    needs, with **nothing installed**.
+
+    Mirrors :func:`build_xcbc_cluster`'s roll selection but stops after
+    planning — graph and distribution come from the installer's
+    side-effect-free build steps, so ``cluster-lint`` can vet the recipe
+    before the (simulated) deployment spends any time on it.
+    """
+    get_xcbc_release(roll_version)  # validates the version
+    rolls: list[Roll] = [build_xsede_roll(roll_version)]
+    if include_optional_rolls:
+        rolls.extend(optional_rolls().values())
+    installer = RocksInstaller(machine, rolls=rolls, scheduler=scheduler)
+    distribution = installer.build_distribution()
+    return ClusterDefinition(
+        name=name or machine.name,
+        graph=installer.build_graph(),
+        rolls=tuple(installer.rolls.values()),
+        repositories=(distribution,),
+        required_repo_ids=(distribution.repo_id,),
+        machine=machine,
+        dhcp_plan=DhcpPlan(),
+        macs=tuple(n.mac_address for n in machine.compute_nodes),
+        queues=(default_queue_for(machine),),
     )

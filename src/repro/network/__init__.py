@@ -4,7 +4,7 @@ The substrate Rocks provisions over (PXE/DHCP) and the cost model the
 simulated-MPI layer and HPL efficiency model consume.
 """
 
-from .dhcp import DhcpLease, DhcpServer
+from .dhcp import DhcpLease, DhcpPlan, DhcpServer
 from .fabric import Endpoint, Fabric, PathCost, Switch
 from .pxe import BootImage, PxeBootResult, PxeServer
 from .topology import ClusterNetwork, build_cluster_network
@@ -16,6 +16,7 @@ __all__ = [
     "PathCost",
     "DhcpServer",
     "DhcpLease",
+    "DhcpPlan",
     "PxeServer",
     "BootImage",
     "PxeBootResult",

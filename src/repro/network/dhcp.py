@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from ..errors import DhcpError
 
-__all__ = ["DhcpLease", "DhcpServer"]
+__all__ = ["DhcpLease", "DhcpPlan", "DhcpServer"]
 
 
 @dataclass(frozen=True)
@@ -22,6 +22,50 @@ class DhcpLease:
     mac: str
     ip: str
     hostname: str = ""
+
+
+@dataclass(frozen=True)
+class DhcpPlan:
+    """The declarative shape of a private-segment DHCP pool.
+
+    Unlike :class:`DhcpServer` (which refuses to start on a bad pool), a
+    plan is pure data and never raises — so the pre-flight analyzer can lint
+    an invalid range instead of crashing on it.  ``realize`` turns a valid
+    plan into a running server.
+    """
+
+    network_prefix: str = "10.1.1"
+    pool_start: int = 10
+    pool_end: int = 254
+
+    @property
+    def server_ip(self) -> str:
+        """The frontend's own address on the segment (always ``.1``)."""
+        return f"{self.network_prefix}.1"
+
+    @property
+    def is_valid(self) -> bool:
+        """True if :class:`DhcpServer` would accept this pool."""
+        return 0 < self.pool_start <= self.pool_end <= 254
+
+    @property
+    def capacity(self) -> int:
+        """Number of dynamic leases the pool can hand out."""
+        if not self.is_valid:
+            return 0
+        return self.pool_end - self.pool_start + 1
+
+    def covers_host(self, last_octet: int) -> bool:
+        """True if the dynamic pool includes ``prefix.last_octet``."""
+        return self.pool_start <= last_octet <= self.pool_end
+
+    def realize(self) -> "DhcpServer":
+        """Start a server from this plan (raises on an invalid pool)."""
+        return DhcpServer(
+            network_prefix=self.network_prefix,
+            pool_start=self.pool_start,
+            pool_end=self.pool_end,
+        )
 
 
 class DhcpServer:

@@ -119,6 +119,20 @@ class RocksInstaller:
 
     # -- build steps -----------------------------------------------------------------
 
+    def build_graph(self) -> KickstartGraph:
+        """The kickstart graph this installation would use.
+
+        Side-effect free — nothing is installed — which makes it the
+        pre-flight entry point: the analyzer lints this graph before
+        :meth:`run` ever touches a node.
+        """
+        return self._build_graph()
+
+    def build_distribution(self) -> Repository:
+        """The local distribution :meth:`run` would populate (side-effect
+        free, for pre-flight analysis)."""
+        return self._build_distribution()
+
     def _build_graph(self) -> KickstartGraph:
         graph = KickstartGraph()
         graph.add_node(GraphNode(name=Profile.FRONTEND, roll="base"))

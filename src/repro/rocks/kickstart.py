@@ -57,9 +57,12 @@ class KickstartGraph:
             for svc in node.enable_services:
                 if svc not in existing.enable_services:
                     existing.enable_services.append(svc)
-            existing.post_actions.extend(
-                a for a in node.post_actions if a not in existing.post_actions
-            )
+            # Post actions must merge exactly like packages/services do: a
+            # roll re-extending a node (re-applied roll, shared node name)
+            # must not queue its post-install actions a second time.
+            for action in node.post_actions:
+                if action not in existing.post_actions:
+                    existing.post_actions.append(action)
             return existing
         self._nodes[node.name] = node
         self._edges.setdefault(node.name, [])
@@ -78,11 +81,64 @@ class KickstartGraph:
     def nodes(self) -> list[str]:
         return sorted(self._nodes)
 
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def edges(self) -> list[tuple[str, str]]:
+        """Every (parent, child) include edge, sorted."""
+        return sorted(
+            (parent, child)
+            for parent, children in self._edges.items()
+            for child in children
+        )
+
     def node(self, name: str) -> GraphNode:
         try:
             return self._nodes[name]
         except KeyError:
             raise KickstartError(f"unknown graph node {name!r}") from None
+
+    def find_cycle(self) -> list[str] | None:
+        """Return one include cycle as a node-name path, or None.
+
+        The non-raising twin of the resolve-time cycle check: pre-flight
+        analysis wants to *report* a cycle (and keep checking other things),
+        not die on it the way :meth:`_closure` must.
+        """
+        black: set[str] = set()
+
+        def walk(name: str, path: list[str]) -> list[str] | None:
+            if name in path:
+                return path[path.index(name):] + [name]
+            if name in black:
+                return None
+            path.append(name)
+            for child in self._edges[name]:
+                found = walk(child, path)
+                if found is not None:
+                    return found
+            path.pop()
+            black.add(name)
+            return None
+
+        for root in sorted(self._nodes):
+            found = walk(root, [])
+            if found is not None:
+                return found
+        return None
+
+    def reachable_from(self, roots: list[str]) -> set[str]:
+        """Node names reachable from any of ``roots`` (unknown roots are
+        skipped — pre-flight reports those separately)."""
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self._nodes]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self._edges[name])
+        return seen
 
     def _closure(self, root: str) -> list[GraphNode]:
         """DFS closure from ``root``; cycle detection via the grey set."""

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..analyze.diagnostic import Diagnostic, Severity
+from ..analyze import txn as _txn_rules  # noqa: F401 - registers TX7xx rules
 from ..errors import ConflictError, DependencyError, TransactionError
 from .database import RpmDatabase
 from .package import Package, Requirement
@@ -103,44 +105,88 @@ class Transaction:
         final.update(self._installs)
         return final
 
-    def check(self) -> list[str]:
-        """Validate; returns a list of human-readable problems (empty = ok)."""
-        problems: list[str] = []
+    def check_diagnostics(self) -> list[Diagnostic]:
+        """Validate; returns structured diagnostics (empty = ok).
+
+        Each problem carries a stable ``TX7xx`` rule code (catalogued in
+        :mod:`repro.analyze.txn` and docs/ANALYZE.md).  Order is the
+        validation order — arch, erases, installs, requires, conflicts —
+        not severity order, so :meth:`check` stays byte-identical to its
+        historical output.
+        """
+
+        def problem(code: str, message: str, location: str) -> Diagnostic:
+            return Diagnostic(
+                code=code,
+                severity=Severity.ERROR,
+                message=message,
+                subsystem="transaction",
+                location=location,
+            )
+
+        problems: list[Diagnostic] = []
         host_arch = self.db.host.arch
         for name, pkg in sorted(self._installs.items()):
             if pkg.arch not in ("noarch", host_arch):
-                problems.append(
+                problems.append(problem(
+                    "TX701",
                     f"{pkg.nevra} is built for {pkg.arch} but this host is "
-                    f"{host_arch}"
-                )
+                    f"{host_arch}",
+                    f"transaction:install/{name}",
+                ))
         for name in sorted(self._erases):
             if not self.db.has(name) and name not in self._installs:
-                problems.append(f"cannot erase {name}: not installed")
+                problems.append(problem(
+                    "TX702",
+                    f"cannot erase {name}: not installed",
+                    f"transaction:erase/{name}",
+                ))
         for name, pkg in sorted(self._installs.items()):
             if self.db.has(name) and name not in self._erases:
                 old = self.db.get(name)
                 if old.nevra == pkg.nevra:
-                    problems.append(f"{pkg.nevra} is already installed")
+                    problems.append(problem(
+                        "TX703",
+                        f"{pkg.nevra} is already installed",
+                        f"transaction:install/{name}",
+                    ))
                 else:
-                    problems.append(
+                    problems.append(problem(
+                        "TX704",
                         f"{name} is installed ({old.evr_string}); upgrade via "
-                        f"erase+install or Transaction.upgrade"
-                    )
+                        f"erase+install or Transaction.upgrade",
+                        f"transaction:install/{name}",
+                    ))
         final = self._final_set()
         # Dependency closure of the final state.
         for pkg in sorted(final.values(), key=lambda p: p.name):
             for req in pkg.requires:
                 if not any(p.satisfies(req) for p in final.values()):
-                    problems.append(
-                        f"{pkg.nevra} requires {req} which nothing provides"
-                    )
+                    problems.append(problem(
+                        "TX705",
+                        f"{pkg.nevra} requires {req} which nothing provides",
+                        f"transaction:require/{pkg.name}",
+                    ))
         # Pairwise conflicts among final packages that declare any.
         declaring = [p for p in final.values() if p.conflicts]
         for pkg in sorted(declaring, key=lambda p: p.name):
             for other in sorted(final.values(), key=lambda p: p.name):
                 if other.name != pkg.name and pkg.conflicts_with(other):
-                    problems.append(f"{pkg.nevra} conflicts with {other.nevra}")
+                    problems.append(problem(
+                        "TX706",
+                        f"{pkg.nevra} conflicts with {other.nevra}",
+                        f"transaction:conflict/{pkg.name}",
+                    ))
         return problems
+
+    def check(self) -> list[str]:
+        """Validate; returns a list of human-readable problems (empty = ok).
+
+        Thin compatibility shim over :meth:`check_diagnostics` — the strings
+        are each diagnostic's message, unchanged from before diagnostics
+        existed.
+        """
+        return [str(d) for d in self.check_diagnostics()]
 
     def upgrade(self, pkg: Package) -> "Transaction":
         """Queue an in-place upgrade: erase old EVR, install the new one."""
@@ -206,12 +252,13 @@ class Transaction:
         """
         if self.is_empty:
             raise TransactionError("empty transaction")
-        problems = self.check()
+        problems = self.check_diagnostics()
         if problems:
-            text = "; ".join(problems)
-            if any("requires" in p for p in problems):
+            text = "; ".join(str(d) for d in problems)
+            codes = {d.code for d in problems}
+            if "TX705" in codes:
                 raise DependencyError(f"transaction check failed: {text}")
-            if any("conflicts" in p for p in problems):
+            if "TX706" in codes:
                 raise ConflictError(f"transaction check failed: {text}")
             raise TransactionError(f"transaction check failed: {text}")
 

@@ -6,6 +6,7 @@ Limulus power-managed variant.
 from .base import BaseScheduler, ClusterResources, SchedulerStats
 from .job import Allocation, Job, JobState
 from .power_mgmt import EnergyReport, PowerManagedScheduler, PowerWindow
+from .queues import QueueConfig, default_queue_for
 from .sge import SgeScheduler
 from .slurm import MultifactorWeights, SlurmScheduler
 from .torque import MauiScheduler, TorqueScheduler
@@ -17,6 +18,8 @@ __all__ = [
     "ClusterResources",
     "BaseScheduler",
     "SchedulerStats",
+    "QueueConfig",
+    "default_queue_for",
     "TorqueScheduler",
     "MauiScheduler",
     "SlurmScheduler",

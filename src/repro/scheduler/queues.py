@@ -1,0 +1,48 @@
+"""Declarative queue configuration for the batch schedulers.
+
+Real Torque/SLURM sites describe queues in config files (``qmgr`` dumps,
+``slurm.conf`` partitions) that name the nodes they may run on — and a queue
+naming a node the cluster does not have is a classic silent misconfiguration:
+jobs sit idle forever instead of failing loudly.  :class:`QueueConfig`
+captures that declarative layer so the pre-flight analyzer can check it
+against the hardware inventory before anything is deployed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.chassis import Machine
+
+__all__ = ["QueueConfig", "default_queue_for"]
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """One batch queue / partition as declared in scheduler config.
+
+    ``node_names`` lists the nodes the queue schedules onto;
+    ``max_cores_per_job`` of 0 means no per-job cap.
+    """
+
+    name: str
+    node_names: tuple[str, ...] = ()
+    max_cores_per_job: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("queue name must be non-empty")
+
+
+def default_queue_for(machine: Machine, *, name: str = "batch") -> QueueConfig:
+    """The conventional single queue over every compute node.
+
+    ``max_cores_per_job`` defaults to the full compute-core count — the
+    largest job the hardware can actually run.
+    """
+    computes = machine.compute_nodes
+    return QueueConfig(
+        name=name,
+        node_names=tuple(n.name for n in computes),
+        max_cores_per_job=sum(n.cores for n in computes),
+    )

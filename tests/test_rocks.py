@@ -76,6 +76,42 @@ class TestKickstartGraph:
     def test_services_resolved(self):
         assert self.build().resolve_services(Profile.COMPUTE) == ["sshd"]
 
+    def test_post_actions_merge_without_duplication(self):
+        # Regression: re-adding a node (a roll re-extending a shared node)
+        # must not queue its post-install actions twice.
+        g = self.build()
+        g.add_node(GraphNode("common", post_actions=["sync users", "fix ssh"]))
+        g.add_node(GraphNode("common", post_actions=["sync users"]))
+        assert g.node("common").post_actions == ["sync users", "fix ssh"]
+        assert g.resolve_actions(Profile.FRONTEND) == ["sync users", "fix ssh"]
+
+    def test_has_node_and_edges(self):
+        g = self.build()
+        assert g.has_node("common") and not g.has_node("ghost")
+        assert (Profile.FRONTEND, "common") in g.edges()
+        assert len(g.edges()) == 2
+
+    def test_find_cycle_reports_path_without_raising(self):
+        g = self.build()
+        g.add_node(GraphNode("a"))
+        g.add_node(GraphNode("b"))
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert {"a", "b"} <= set(cycle)
+        assert self.build().find_cycle() is None
+
+    def test_reachable_from_profiles(self):
+        g = self.build()
+        g.add_node(GraphNode("orphan"))
+        reachable = g.reachable_from([Profile.FRONTEND, Profile.COMPUTE])
+        assert "common" in reachable
+        assert "orphan" not in reachable
+        # unknown roots are skipped, not fatal — pre-flight must not raise
+        assert g.reachable_from(["ghost"]) == set()
+
 
 class TestRolls:
     def test_roll_validates_fragment_packages(self):

@@ -141,6 +141,76 @@ class TestTransactionValidation:
             txn.install(mk("x", "2.0"))
 
 
+class TestCheckDiagnostics:
+    """check() is a thin shim over check_diagnostics(): the structured
+    records carry stable TX7xx codes; str() of each is the legacy string."""
+
+    def codes(self, txn):
+        return [d.code for d in txn.check_diagnostics()]
+
+    def test_check_strings_are_diagnostic_messages(self, db):
+        txn = Transaction(db).install(
+            mk("gromacs", requires=(Requirement("openmpi"),))
+        )
+        diags = txn.check_diagnostics()
+        assert txn.check() == [str(d) for d in diags]
+        assert txn.check() == [d.message for d in diags]
+
+    def test_tx701_wrong_arch(self, db):
+        txn = Transaction(db).install(mk("tool", arch="ppc64"))
+        assert self.codes(txn) == ["TX701"]
+        assert "built for ppc64" in txn.check()[0]
+
+    def test_tx702_erase_missing(self, db):
+        txn = Transaction(db).erase("ghost")
+        assert self.codes(txn) == ["TX702"]
+        assert txn.check() == ["cannot erase ghost: not installed"]
+
+    def test_tx703_reinstall(self, db):
+        Transaction(db).install(mk("x")).commit()
+        txn = Transaction(db).install(mk("x"))
+        assert self.codes(txn) == ["TX703"]
+
+    def test_tx704_implicit_upgrade(self, db):
+        Transaction(db).install(mk("x", "1.0")).commit()
+        txn = Transaction(db).install(mk("x", "2.0"))
+        assert self.codes(txn) == ["TX704"]
+        assert "Transaction.upgrade" in txn.check()[0]
+
+    def test_tx705_missing_dependency(self, db):
+        txn = Transaction(db).install(
+            mk("gromacs", requires=(Requirement("openmpi"),))
+        )
+        assert self.codes(txn) == ["TX705"]
+
+    def test_tx706_conflict(self, db):
+        txn = Transaction(db)
+        txn.install(mk("torque", conflicts=(Requirement("slurm"),)))
+        txn.install(mk("slurm"))
+        assert self.codes(txn) == ["TX706"]
+
+    def test_diagnostics_carry_location_and_severity(self, db):
+        txn = Transaction(db).erase("ghost")
+        (diag,) = txn.check_diagnostics()
+        assert diag.location == "transaction:erase/ghost"
+        assert diag.severity.value == "error"
+        assert diag.subsystem == "transaction"
+
+    def test_commit_exception_type_follows_codes(self, db):
+        # TX705 -> DependencyError even though other problems also queue.
+        txn = Transaction(db).erase("ghost").install(
+            mk("gromacs", requires=(Requirement("openmpi"),))
+        )
+        assert set(self.codes(txn)) == {"TX702", "TX705"}
+        with pytest.raises(DependencyError):
+            txn.commit()
+
+    def test_clean_transaction_has_no_diagnostics(self, db):
+        txn = Transaction(db).install(mk("openmpi"))
+        assert txn.check_diagnostics() == []
+        assert txn.check() == []
+
+
 class TestTransactionOrderingAndAtomicity:
     def test_install_order_dependencies_first(self, db):
         txn = Transaction(db)
