@@ -1,0 +1,95 @@
+"""Microbench — the discrete-event kernel and the trace bus's overhead.
+
+Two questions about the unified `repro.sim` kernel that replaced the five
+ad-hoc clocks:
+
+1. raw event throughput: schedule + fire rate through the ``(time, seq)``
+   heap, with a churn mix of cancels and reschedules (the power manager's
+   access pattern);
+2. what tracing costs: the same scheduler workload with the bus recording
+   every event vs disabled.
+"""
+
+import pytest
+
+from repro.hardware import build_limulus_hpc200
+from repro.scheduler import Job, PowerManagedScheduler
+from repro.sim import SimKernel, TraceBus
+
+N_EVENTS = 20_000
+
+
+def pump_events(n=N_EVENTS):
+    """Schedule n events (with a 1-in-8 cancel/reschedule churn), drain."""
+    kernel = SimKernel(seed=1)
+    sink = []
+    handles = []
+    for i in range(n):
+        handle = kernel.at(
+            float(kernel.rng.randrange(1000)), lambda i=i: sink.append(i)
+        )
+        if i % 8 == 0:
+            handles.append(handle)
+        elif i % 8 == 4 and handles:
+            victim = handles.pop()
+            if victim.active:
+                kernel.reschedule(victim, victim.time_s + 10.0)
+    fired = kernel.run()
+    return kernel, fired
+
+
+def power_trace(trace_enabled):
+    """The bursty Limulus workload with the bus on or off."""
+    machine = build_limulus_hpc200().machine
+    kernel = SimKernel(trace=TraceBus(enabled=trace_enabled))
+    scheduler = PowerManagedScheduler(machine, manage_power=True, kernel=kernel)
+    for burst in range(10):
+        scheduler.now_s = burst * 7200.0
+        for i in range(4):
+            scheduler.submit(Job(f"b{burst}-j{i}", "bench", cores=4,
+                                 walltime_limit_s=7200, runtime_s=1800))
+        scheduler.run_to_completion()
+    return kernel
+
+
+def test_bench_event_throughput(benchmark, save_artifact):
+    kernel, fired = benchmark(pump_events)
+    events_per_s = fired / benchmark.stats["mean"]
+
+    lines = [
+        "Microbench: event kernel throughput",
+        "",
+        f"events fired          {fired:>12,}",
+        f"mean wall time (s)    {benchmark.stats['mean']:>12.4f}",
+        f"events/second         {events_per_s:>12,.0f}",
+    ]
+    save_artifact("microbench_event_kernel", "\n".join(lines))
+
+    assert fired > N_EVENTS * 0.8  # churn cancels a bounded fraction
+    assert kernel.now_s <= 1000.0 + 10.0
+
+
+def test_bench_trace_bus_overhead(benchmark, save_artifact):
+    traced = benchmark(power_trace, True)
+    baseline_kernel = power_trace(False)
+
+    assert len(traced.trace) > 0
+    assert len(baseline_kernel.trace) == 0
+    # identical simulation either way: tracing must not perturb time
+    assert traced.now_s == baseline_kernel.now_s
+    assert traced.events_processed == baseline_kernel.events_processed
+
+    per_event_us = (
+        benchmark.stats["mean"] / max(len(traced.trace), 1) * 1e6
+    )
+    lines = [
+        "Microbench: trace bus overhead (power-managed Limulus workload)",
+        "",
+        f"kernel events         {traced.events_processed:>12,}",
+        f"trace events          {len(traced.trace):>12,}",
+        f"mean run, bus on (s)  {benchmark.stats['mean']:>12.4f}",
+        f"~us per trace event   {per_event_us:>12.1f}",
+        "(bus off runs the identical simulation; timings in pytest-benchmark"
+        " output)",
+    ]
+    save_artifact("microbench_trace_bus", "\n".join(lines))

@@ -38,6 +38,7 @@ from . import (
     rocks,
     rpm,
     scheduler,
+    sim,
     yum,
 )
 from .errors import ReproError
@@ -53,6 +54,7 @@ __all__ = [
     "network",
     "mpi",
     "scheduler",
+    "sim",
     "linpack",
     "pfs",
     "monitoring",

@@ -36,6 +36,8 @@ __all__ = [
     "DhcpError",
     "PxeError",
     "MpiError",
+    "SimulationError",
+    "TraceError",
     "SchedulerError",
     "JobError",
     "LinpackError",
@@ -175,6 +177,17 @@ class PxeError(NetworkError):
 
 class MpiError(ReproError):
     """Invalid simulated-MPI operation."""
+
+
+# --- simulation kernel ---------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Invalid simulation-kernel operation (time regression, dead handle, ...)."""
+
+
+class TraceError(SimulationError):
+    """A trace event violates the schema (unknown kind, missing field, ...)."""
 
 
 # --- scheduler ----------------------------------------------------------------

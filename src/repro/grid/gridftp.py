@@ -12,6 +12,10 @@ behaviour:
 * every file is checksummed at both ends; corrupted stripes (injectable) are
   retried up to a bound, then fail loudly;
 * directory transfers recurse and preserve layout.
+
+Transfer durations are spent on a :class:`~repro.sim.SimKernel` — pass the
+cluster's kernel to interleave grid traffic with scheduler, monitoring and
+MPI events; each file completion publishes a ``grid.xfer`` trace event.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from dataclasses import dataclass, field
 from ..distro.filesystem import FileKind
 from ..distro.host import Host
 from ..errors import ReproError
+from ..sim import SimKernel
 
 __all__ = ["GridError", "WanLink", "GridEndpoint", "TransferResult", "transfer"]
 
@@ -122,6 +127,7 @@ def transfer(
     parallelism: int = 4,
     corrupt_first_attempt: set[str] | None = None,
     max_retries: int = 2,
+    kernel: SimKernel | None = None,
 ) -> TransferResult:
     """Move a file or directory tree between endpoints with verification.
 
@@ -130,8 +136,10 @@ def transfer(
     retried.  Exceeding ``max_retries`` raises :class:`GridError`.
     """
     link = link or WanLink()
+    kernel = kernel if kernel is not None else SimKernel()
     corrupt = set(corrupt_first_attempt or ())
     result = TransferResult()
+    started_s = kernel.now_s
 
     if src.host.fs.is_dir(src._abs(src_path)):
         pairs = [
@@ -155,7 +163,11 @@ def transfer(
                     f"transfer of {rel} failed checksum after "
                     f"{max_retries + 1} attempts"
                 )
-            result.elapsed_s += link.transfer_time_s(nbytes, parallelism=parallelism)
+            # Spend the modelled duration on the shared timeline: events
+            # due inside the window (polls, job completions) fire first.
+            kernel.run_until(
+                kernel.now_s + link.transfer_time_s(nbytes, parallelism=parallelism)
+            )
             if rel in corrupt and attempts == 1:
                 dst.write(to_path, content + "\x00CORRUPT")
             else:
@@ -165,4 +177,9 @@ def transfer(
             result.retried_files.append(rel)
         result.files += 1
         result.bytes_moved += nbytes
+        kernel.trace.emit(
+            "grid.xfer", t_s=kernel.now_s, subsystem="grid",
+            file=rel, nbytes=nbytes, retries=attempts - 1,
+        )
+    result.elapsed_s = kernel.now_s - started_s
     return result

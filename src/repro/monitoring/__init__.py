@@ -32,15 +32,22 @@ def monitor_cluster(
     *,
     scheduler=None,
     poll_period_s: float = 15.0,
+    kernel=None,
 ) -> Gmetad:
     """Attach gmonds to every node of a provisioned cluster.
 
     When ``scheduler`` (any :class:`~repro.scheduler.base.BaseScheduler`) is
     given, each node's load metric reports the cores the scheduler currently
     has allocated there — live integration between the batch system and the
-    monitoring mesh.
+    monitoring mesh.  Pass the scheduler's ``kernel`` (a
+    :class:`~repro.sim.SimKernel`) to put polling on the same timeline; by
+    default it is taken from the scheduler when one is given.
     """
-    gmetad = Gmetad(cluster.machine.name, poll_period_s=poll_period_s)
+    if kernel is None and scheduler is not None:
+        kernel = scheduler.kernel
+    gmetad = Gmetad(
+        cluster.machine.name, poll_period_s=poll_period_s, kernel=kernel
+    )
 
     def load_source_for(node_name: str):
         if scheduler is None:
@@ -59,7 +66,12 @@ def monitor_cluster(
         return busy
 
     for host in cluster.hosts():
-        db = cluster.db_for(host)
+        # ProvisionedCluster exposes db_for; ExistingCluster (vendor-built
+        # machines like the Limulus) reaches the database via its client.
+        if hasattr(cluster, "db_for"):
+            db = cluster.db_for(host)
+        else:
+            db = cluster.client_for(host).db
         gmetad.attach(
             Gmond(host, db, load_source=load_source_for(host.node.name))
         )

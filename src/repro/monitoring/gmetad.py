@@ -5,12 +5,20 @@ each (host, metric) stream in an RRD, and can answer the questions the web
 frontend renders: cluster load, memory, down nodes, per-host detail.  The
 ``render_dashboard`` output stands in for the Ganglia web UI the paper's
 training goals include.
+
+Polling is clocked by a :class:`~repro.sim.SimKernel`: :meth:`poll_cycle`
+advances shared simulated time by one period (firing any co-simulated
+events due on the way), and :meth:`start_sampling` registers the poll as a
+periodic kernel event so monitoring interleaves with scheduler and MPI
+activity on one timeline.  Each poll publishes ``metric.sample`` and
+``monitor.cycle`` trace events.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..sim import PeriodicEvent, SimKernel
 from .gmond import Gmond
 from .metrics import CORE_METRICS, MonitoringError
 from .rrd import Rrd
@@ -43,15 +51,27 @@ class ClusterSummary:
 class Gmetad:
     """The aggregator on the frontend."""
 
-    def __init__(self, cluster_name: str, *, poll_period_s: float = 15.0) -> None:
+    def __init__(
+        self,
+        cluster_name: str,
+        *,
+        poll_period_s: float = 15.0,
+        kernel: SimKernel | None = None,
+    ) -> None:
         if poll_period_s <= 0:
             raise MonitoringError("poll period must be positive")
         self.cluster_name = cluster_name
         self.poll_period_s = poll_period_s
+        self.kernel = kernel if kernel is not None else SimKernel()
         self._gmonds: dict[str, Gmond] = {}
         self._rrds: dict[tuple[str, str], Rrd] = {}
-        self.now_s = 0.0
+        self._sampler: PeriodicEvent | None = None
         self.summaries: list[ClusterSummary] = []
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time (the kernel clock)."""
+        return self.kernel.now_s
 
     def attach(self, gmond: Gmond) -> None:
         """Register a node's gmond as a data source."""
@@ -74,20 +94,24 @@ class Gmetad:
             self._rrds[key] = Rrd(step_s=self.poll_period_s)
         return self._rrds[key]
 
-    def poll_cycle(self) -> ClusterSummary:
-        """One polling period: pull every gmond, archive, summarise."""
-        self.now_s += self.poll_period_s
+    def _sample(self, timestamp_s: float) -> ClusterSummary:
+        """Pull every gmond at ``timestamp_s``, archive, summarise, trace."""
         up = 0
         total_cores = 0
         load_total = 0.0
         mem_total = 0.0
         mem_free = 0.0
         failed = 0
+        trace = self.kernel.trace
         for name in self.hosts():
             gmond = self._gmonds[name]
-            samples = {s.spec.name: s for s in gmond.poll(self.now_s)}
+            samples = {s.spec.name: s for s in gmond.poll(timestamp_s)}
             for metric, sample in samples.items():
-                self.rrd_for(name, metric).update(self.now_s, sample.value)
+                self.rrd_for(name, metric).update(timestamp_s, sample.value)
+                trace.emit(
+                    "metric.sample", t_s=timestamp_s, subsystem="monitoring",
+                    host=name, metric=metric, value=float(sample.value),
+                )
             if samples["powered_on"].value > 0:
                 up += 1
                 total_cores += int(samples["cpu_num"].value)
@@ -96,7 +120,7 @@ class Gmetad:
                 mem_free += samples["mem_free"].value
                 failed += int(samples["svc_failed"].value)
         summary = ClusterSummary(
-            timestamp_s=self.now_s,
+            timestamp_s=timestamp_s,
             hosts_total=len(self._gmonds),
             hosts_up=up,
             total_cores=total_cores,
@@ -106,7 +130,20 @@ class Gmetad:
             failed_services=failed,
         )
         self.summaries.append(summary)
+        trace.emit(
+            "monitor.cycle", t_s=timestamp_s, subsystem="monitoring",
+            hosts_up=up, hosts_total=len(self._gmonds), load_total=load_total,
+        )
         return summary
+
+    def poll_cycle(self) -> ClusterSummary:
+        """One polling period: advance a period, pull, archive, summarise.
+
+        Advancing runs any co-simulated kernel events that fall inside the
+        window first, so the poll observes the cluster as it is *then*.
+        """
+        self.kernel.run_until(self.now_s + self.poll_period_s)
+        return self._sample(self.now_s)
 
     def run_cycles(self, count: int) -> ClusterSummary:
         """Poll ``count`` times; returns the last summary."""
@@ -117,6 +154,30 @@ class Gmetad:
             last = self.poll_cycle()
         assert last is not None
         return last
+
+    def start_sampling(self, *, first_at_s: float | None = None) -> PeriodicEvent:
+        """Register polling as a periodic kernel event (co-simulation mode).
+
+        Time is then driven by whoever runs the kernel — the scheduler, a
+        transfer, ``kernel.run_until`` — and each period fires a sample
+        automatically.  Call :meth:`stop_sampling` (or cancel the returned
+        handle) to stop.
+        """
+        if self._sampler is not None:
+            raise MonitoringError("sampling is already running")
+        self._sampler = self.kernel.every(
+            self.poll_period_s,
+            lambda: self._sample(self.kernel.now_s),
+            first_at_s=first_at_s,
+            label=f"gmetad.poll:{self.cluster_name}",
+        )
+        return self._sampler
+
+    def stop_sampling(self) -> None:
+        """Cancel the periodic poll registered by :meth:`start_sampling`."""
+        if self._sampler is not None:
+            self._sampler.cancel()
+            self._sampler = None
 
     def down_hosts(self) -> list[str]:
         """Hosts whose latest powered_on sample is 0 (the web UI's red row)."""

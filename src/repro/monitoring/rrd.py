@@ -27,9 +27,12 @@ class RrdPoint:
 class Rrd:
     """One metric's ring buffer.
 
-    ``step_s`` is the slot width; ``slots`` the ring size.  Updates must be
-    non-decreasing in time (monitoring data arrives in order here; gmetad
-    enforces it).  Querying returns consolidated points, oldest first.
+    ``step_s`` is the slot width; ``slots`` the ring size.  Samples may
+    arrive slightly late as long as they land in the current slot (rrdtool
+    tolerates sub-step jitter the same way): a late same-slot sample
+    *overwrites* the slot — last write wins.  A sample from an already
+    closed slot is out of order and rejected.  Querying returns
+    consolidated points, oldest first.
     """
 
     def __init__(self, *, step_s: float = 15.0, slots: int = 240) -> None:
@@ -44,16 +47,23 @@ class Rrd:
         return int(timestamp_s // self.step_s)
 
     def update(self, timestamp_s: float, value: float) -> None:
-        """Record one sample, consolidating into its slot by averaging."""
-        if timestamp_s < self._last_time:
+        """Record one sample, consolidating into its slot by averaging.
+
+        A sample timestamped earlier than the last one is accepted if it
+        still falls in the current slot (it overwrites the slot — last
+        write wins, matching rrdtool's tolerance for sub-step jitter);
+        one from an earlier slot is rejected as out of order.
+        """
+        absolute = self._slot_index(timestamp_s)
+        late = timestamp_s < self._last_time
+        if late and absolute < self._slot_index(self._last_time):
             raise MonitoringError(
                 f"out-of-order sample: {timestamp_s} after {self._last_time}"
             )
-        self._last_time = timestamp_s
-        absolute = self._slot_index(timestamp_s)
+        self._last_time = max(self._last_time, timestamp_s)
         position = absolute % self.slots
         held = self._ring[position]
-        if held is not None and held[0] == absolute:
+        if not late and held is not None and held[0] == absolute:
             _abs, total, count = held
             self._ring[position] = (absolute, total + value, count + 1)
         else:

@@ -17,18 +17,23 @@ from ..errors import MpiError
 from ..hardware.chassis import Machine
 from ..network.fabric import Fabric
 from ..scheduler.job import Job, JobState
+from ..sim import SimKernel
 from .collectives import allreduce
 from .simulator import MpiWorld
 
 __all__ = ["world_for_job", "MpiJobProfile", "run_allreduce_job"]
 
 
-def world_for_job(fabric: Fabric, job: Job) -> MpiWorld:
+def world_for_job(
+    fabric: Fabric, job: Job, *, kernel: SimKernel | None = None
+) -> MpiWorld:
     """An MPI world with one rank per allocated core of ``job``.
 
     The job must be running or completed (it must *have* an allocation).
     Rank order follows the allocation's node order — the same contiguous
-    placement mpirun gets from a Torque nodefile.
+    placement mpirun gets from a Torque nodefile.  Pass the scheduler's
+    ``kernel`` to put the ranks on the shared timeline, anchored at the
+    job's start time.
     """
     if job.allocation is None:
         raise MpiError(f"job {job.name} has no allocation (state {job.state.value})")
@@ -37,7 +42,7 @@ def world_for_job(fabric: Fabric, job: Job) -> MpiWorld:
         for node_name, cores in job.allocation.by_node
         for _ in range(cores)
     ]
-    return MpiWorld(fabric, rank_hosts)
+    return MpiWorld(fabric, rank_hosts, kernel=kernel, start_s=job.start_time_s)
 
 
 @dataclass(frozen=True)
@@ -83,7 +88,7 @@ def run_allreduce_job(
     for _ in range(iterations):
         # local compute: every rank's clock advances in lockstep
         for rank in range(world.size):
-            world.clocks[rank] += compute_s_per_iteration
+            world.compute(rank, compute_s_per_iteration)
         data = [list(payload_template) for _ in range(world.size)]
         merged = allreduce(
             world, data, lambda a, b: [x + y for x, y in zip(a, b)]

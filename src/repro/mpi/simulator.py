@@ -11,16 +11,23 @@ The HPC substrate of the paper's machines is MPI over gigabit Ethernet
   (:class:`~repro.network.fabric.PathCost`), and ranks on the same host pay
   loopback cost only.  Times are *accounted*, not slept.
 
+Rank clocks are :class:`~repro.sim.Timeline` objects on a
+:class:`~repro.sim.SimKernel` — pass the scheduler's kernel (and anchor
+``start_s`` at the job's start) to interleave MPI traffic with scheduler
+and monitoring events on one timeline; every transfer publishes a
+``msg.xfer`` trace event.  Without a kernel the world creates its own.
+
 Collective algorithms live in :mod:`repro.mpi.collectives`.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import MpiError
 from ..network.fabric import Fabric
+from ..sim import SimKernel
 
 __all__ = ["MpiWorld", "bytes_of"]
 
@@ -57,13 +64,22 @@ class MpiWorld:
     """A communicator: ``size`` ranks placed on fabric hosts.
 
     ``rank_hosts[i]`` names the host rank *i* runs on.  Several ranks may
-    share a host (one per core is the usual placement).  Each rank carries
-    its own simulated clock; sends charge the sender, receives complete at
+    share a host (one per core is the usual placement).  Each rank's clock
+    is a kernel timeline; sends charge the sender, receives complete at
     ``max(receiver clock, message arrival)`` — a simple but standard
-    post-office timing model.
+    post-office timing model.  ``start_s`` anchors all rank timelines (a
+    job's start time in co-simulation); :attr:`clocks` exposes absolute
+    timeline values, :attr:`elapsed_s` is relative to the anchor.
     """
 
-    def __init__(self, fabric: Fabric, rank_hosts: list[str]) -> None:
+    def __init__(
+        self,
+        fabric: Fabric,
+        rank_hosts: list[str],
+        *,
+        kernel: SimKernel | None = None,
+        start_s: float | None = None,
+    ) -> None:
         if not rank_hosts:
             raise MpiError("a world needs at least one rank")
         attached = set(fabric.hosts())
@@ -72,7 +88,12 @@ class MpiWorld:
                 raise MpiError(f"rank host {host} is not attached to the fabric")
         self.fabric = fabric
         self.rank_hosts = list(rank_hosts)
-        self.clocks = [0.0] * len(rank_hosts)
+        self.kernel = kernel if kernel is not None else SimKernel()
+        self._epoch_s = self.kernel.now_s if start_s is None else start_s
+        self._timelines = [
+            self.kernel.timeline(f"mpi.rank{i}", start_s=self._epoch_s)
+            for i in range(len(rank_hosts))
+        ]
         self._queues: dict[tuple[int, int, int], deque[_Message]] = {}
         self.bytes_sent = 0
         self.message_count = 0
@@ -81,6 +102,15 @@ class MpiWorld:
     def size(self) -> int:
         """Number of ranks."""
         return len(self.rank_hosts)
+
+    @property
+    def clocks(self) -> tuple[float, ...]:
+        """Each rank's current (absolute) time.
+
+        Read-only by design: local work goes through :meth:`compute`, so
+        every clock mutation flows through the kernel timelines.
+        """
+        return tuple(t.now_s for t in self._timelines)
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.size:
@@ -98,6 +128,15 @@ class MpiWorld:
         cost = self.fabric.path_cost(self.host_of(src), self.host_of(dst))
         return cost.transfer_time_s(nbytes)
 
+    # -- local work --------------------------------------------------------------
+
+    def compute(self, rank: int, seconds: float) -> float:
+        """Charge ``seconds`` of local work to one rank's timeline."""
+        self._check_rank(rank)
+        if seconds < 0:
+            raise MpiError(f"negative compute time {seconds}")
+        return self._timelines[rank].advance(seconds)
+
     # -- point to point ---------------------------------------------------------
 
     def send(self, src: int, dst: int, payload: object, *, tag: int = 0) -> float:
@@ -112,15 +151,19 @@ class MpiWorld:
             raise MpiError("send to self: use local data instead")
         nbytes = bytes_of(payload)
         elapsed = self.transfer_time_s(src, dst, nbytes)
-        depart = self.clocks[src]
-        self.clocks[src] = depart + elapsed
+        depart = self._timelines[src].now_s
         arrival = depart + elapsed
+        self._timelines[src].advance(elapsed)
         self._queues.setdefault((src, dst, tag), deque()).append(
             _Message(payload=payload, nbytes=nbytes, arrival_s=arrival)
         )
         self.bytes_sent += nbytes
         self.message_count += 1
-        return self.clocks[src]
+        self.kernel.trace.emit(
+            "msg.xfer", t_s=arrival, subsystem="mpi",
+            src=src, dst=dst, nbytes=nbytes, elapsed_s=elapsed, tag=tag,
+        )
+        return arrival
 
     def recv(self, dst: int, src: int, *, tag: int = 0) -> object:
         """Receive the next queued message from ``src`` (FIFO per tag).
@@ -136,7 +179,7 @@ class MpiWorld:
                 f"rank {dst}: no message pending from rank {src} (tag {tag})"
             )
         message = queue.popleft()
-        self.clocks[dst] = max(self.clocks[dst], message.arrival_s)
+        self._timelines[dst].meet(message.arrival_s)
         return message.payload
 
     def sendrecv(
@@ -146,11 +189,20 @@ class MpiWorld:
         both clocks advance by one transfer time, not two)."""
         na, nb = bytes_of(payload_a), bytes_of(payload_b)
         elapsed = self.transfer_time_s(a, b, max(na, nb))
-        start = max(self.clocks[a], self.clocks[b])
-        self.clocks[a] = start + elapsed
-        self.clocks[b] = start + elapsed
+        start = max(self._timelines[a].now_s, self._timelines[b].now_s)
+        finish = start + elapsed
+        self._timelines[a].meet(finish)
+        self._timelines[b].meet(finish)
         self.bytes_sent += na + nb
         self.message_count += 2
+        self.kernel.trace.emit(
+            "msg.xfer", t_s=finish, subsystem="mpi",
+            src=a, dst=b, nbytes=na, elapsed_s=elapsed, tag=tag,
+        )
+        self.kernel.trace.emit(
+            "msg.xfer", t_s=finish, subsystem="mpi",
+            src=b, dst=a, nbytes=nb, elapsed_s=elapsed, tag=tag,
+        )
         return payload_b, payload_a  # what a receives, what b receives
 
     # -- synchronisation --------------------------------------------------------
@@ -163,23 +215,29 @@ class MpiWorld:
         """
         import math
 
-        worst = max(self.clocks)
+        worst = max(t.now_s for t in self._timelines)
         if self.size > 1:
             alpha = max(
                 self.fabric.path_cost(self.host_of(0), self.host_of(r)).latency_s
                 for r in range(1, self.size)
             )
             worst += math.ceil(math.log2(self.size)) * alpha
-        self.clocks = [worst] * self.size
+        for timeline in self._timelines:
+            timeline.meet(worst)
+        self.kernel.trace.emit(
+            "mpi.barrier", t_s=worst, subsystem="mpi", ranks=self.size
+        )
         return worst
 
     @property
     def elapsed_s(self) -> float:
-        """Wall-clock of the slowest rank so far."""
-        return max(self.clocks)
+        """Wall-clock of the slowest rank so far (relative to the anchor)."""
+        return max(t.now_s for t in self._timelines) - self._epoch_s
 
     def reset_clocks(self) -> None:
-        """Zero all clocks and traffic counters (between benchmark phases)."""
-        self.clocks = [0.0] * self.size
+        """Re-anchor all rank timelines and zero the traffic counters
+        (between benchmark phases)."""
+        for timeline in self._timelines:
+            timeline.reset(self._epoch_s)
         self.bytes_sent = 0
         self.message_count = 0

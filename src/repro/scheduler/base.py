@@ -1,10 +1,12 @@
 """The event-driven scheduling core shared by all three schedulers.
 
 A :class:`ClusterResources` tracks free cores per node (built from a
-:class:`~repro.hardware.chassis.Machine`); :class:`BaseScheduler` owns the
-event loop: advance simulated time to the next job completion, free its
-cores, then let the policy (:meth:`_schedulable_order`, plus optional
-backfill) start pending jobs.
+:class:`~repro.hardware.chassis.Machine`); :class:`BaseScheduler` drives
+the event loop through a :class:`~repro.sim.SimKernel`: job completions
+are kernel events, time advances only through the kernel clock, and every
+lifecycle transition is published on the kernel's trace bus.  Pass a
+shared kernel to co-simulate with other subsystems (power, monitoring,
+MPI) on one timeline; without one the scheduler creates its own.
 
 Invariants (tested property-style):
 
@@ -15,11 +17,11 @@ Invariants (tested property-style):
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 
 from ..errors import SchedulerError
 from ..hardware.chassis import Machine
+from ..sim import EventHandle, SimKernel
 from .job import Allocation, Job, JobState
 
 __all__ = ["ClusterResources", "BaseScheduler", "SchedulerStats"]
@@ -169,15 +171,33 @@ class BaseScheduler:
     #: head job's reservation would start.
     backfill = False
 
-    def __init__(self, resources: ClusterResources) -> None:
+    def __init__(
+        self, resources: ClusterResources, *, kernel: SimKernel | None = None
+    ) -> None:
         self.resources = resources
-        self.now_s = 0.0
+        self.kernel = kernel if kernel is not None else SimKernel()
         self.pending: list[Job] = []
         self.running: list[Job] = []
         self.finished: list[Job] = []
-        self._events: list[tuple[float, int, Job]] = []  # (end time, id, job)
+        #: pending completion events, one kernel handle per running job
+        self._completions: dict[int, EventHandle] = {}
+        self._completions_fired = 0
         #: hook called whenever cores free up (power manager listens here)
         self.on_idle_change = None
+        #: hook called with each job right after it starts (final times set)
+        self.on_job_start = None
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time (the kernel clock)."""
+        return self.kernel.now_s
+
+    @now_s.setter
+    def now_s(self, time_s: float) -> None:
+        # Traces jump the clock forward between bursts.  Events due inside
+        # the window (running jobs completing) fire on the way — the old
+        # ad-hoc clock deferred them and then ran time backwards.
+        self.kernel.run_until(time_s)
 
     # -- submission ---------------------------------------------------------------
 
@@ -192,6 +212,10 @@ class BaseScheduler:
             )
         job.submit_time_s = self.now_s
         self.pending.append(job)
+        self.kernel.trace.emit(
+            "job.submit", t_s=self.now_s, subsystem="scheduler",
+            job=job.name, user=job.user, cores=job.cores,
+        )
         self._try_start_jobs()
         return job
 
@@ -201,6 +225,9 @@ class BaseScheduler:
             self.pending.remove(job)
             job.state = JobState.CANCELLED
             self.finished.append(job)
+            self.kernel.trace.emit(
+                "job.cancel", t_s=self.now_s, subsystem="scheduler", job=job.name
+            )
         else:
             raise SchedulerError(f"job {job.name} is not pending")
 
@@ -219,7 +246,46 @@ class BaseScheduler:
         job.end_time_s = self.now_s + job.charged_runtime_s
         self.pending.remove(job)
         self.running.append(job)
-        heapq.heappush(self._events, (job.end_time_s, job.job_id, job))
+        self._completions[job.job_id] = self.kernel.at(
+            job.end_time_s,
+            lambda job=job: self._on_job_end(job),
+            label=f"job.end:{job.name}",
+        )
+
+    def reschedule_completion(self, job: Job) -> None:
+        """Re-key a running job's completion event to ``job.end_time_s``.
+
+        The first-class API for policies that shift a job's window after
+        it started (boot delays, preemption models) — no private heap to
+        mutate.
+        """
+        try:
+            handle = self._completions[job.job_id]
+        except KeyError:
+            raise SchedulerError(
+                f"job {job.name} has no pending completion event"
+            ) from None
+        assert job.end_time_s is not None
+        self._completions[job.job_id] = self.kernel.reschedule(
+            handle, job.end_time_s
+        )
+
+    def _on_job_end(self, job: Job) -> None:
+        """Kernel callback: the completion event for one running job."""
+        self._completions.pop(job.job_id, None)
+        self._completions_fired += 1
+        self.running.remove(job)
+        assert job.allocation is not None
+        self.resources.release(job.allocation)
+        job.state = JobState.FAILED if job.exceeded_walltime else JobState.COMPLETED
+        self.finished.append(job)
+        self.kernel.trace.emit(
+            "job.end", t_s=self.now_s, subsystem="scheduler",
+            job=job.name, state=job.state.value,
+        )
+        if self.on_idle_change is not None:
+            self.on_idle_change(self)
+        self._try_start_jobs()
 
     def _earliest_start_for_head(self) -> float:
         """When the queue-head job could start, given running jobs end on
@@ -258,24 +324,33 @@ class BaseScheduler:
                 allocation = self.resources.try_allocate(job.cores)
                 if allocation is not None:
                     self._start(job, allocation)
+                    # Emitted after _start returns so subclass adjustments
+                    # (boot delays) are reflected in the traced times.
+                    assert job.start_time_s is not None
+                    self.kernel.trace.emit(
+                        "job.start", t_s=job.start_time_s, subsystem="scheduler",
+                        job=job.name, cores=job.cores, nodes=str(allocation),
+                        wait_s=job.start_time_s - job.submit_time_s,
+                    )
+                    if self.on_job_start is not None:
+                        self.on_job_start(job)
                     progress = True
                     break
 
     def step(self) -> bool:
-        """Advance to the next completion event; returns False when idle."""
-        if not self._events:
+        """Advance to the next job completion; returns False when idle.
+
+        Other kernel events due earlier (monitoring polls, co-simulated
+        subsystems) fire along the way — the scheduler no longer owns the
+        timeline, it only rides it.
+        """
+        if not self._completions:
             return False
-        end_time, _jid, job = heapq.heappop(self._events)
-        self.now_s = end_time
-        self.running.remove(job)
-        assert job.allocation is not None
-        self.resources.release(job.allocation)
-        job.state = JobState.FAILED if job.exceeded_walltime else JobState.COMPLETED
-        self.finished.append(job)
-        if self.on_idle_change is not None:
-            self.on_idle_change(self)
-        self._try_start_jobs()
-        return True
+        seen = self._completions_fired
+        while self.kernel.step():
+            if self._completions_fired > seen:
+                return True
+        return False
 
     def run_to_completion(self) -> SchedulerStats:
         """Drain the queue and return aggregate statistics."""

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from ..errors import SchedulerError
 from ..hardware.chassis import Machine
+from ..sim import SimKernel
 from .base import ClusterResources
 from .job import Allocation, Job
 from .torque import MauiScheduler
@@ -106,8 +107,9 @@ class PowerManagedScheduler(MauiScheduler):
         boot_delay_s: float = 60.0,
         boot_power_watts: float = 20.0,
         blackout: "PowerWindow | None" = None,
+        kernel: SimKernel | None = None,
     ) -> None:
-        super().__init__(ClusterResources(machine))
+        super().__init__(ClusterResources(machine), kernel=kernel)
         self.machine = machine
         self.manage_power = manage_power
         self.boot_delay_s = boot_delay_s
@@ -133,6 +135,16 @@ class PowerManagedScheduler(MauiScheduler):
         hw = self._hw_by_name.get(node_name)
         if hw is not None:
             hw.powered_on = on
+        if on:
+            self.kernel.trace.emit(
+                "node.power_on", t_s=self.now_s, subsystem="power",
+                node=node_name, boot_delay_s=self.boot_delay_s,
+            )
+        else:
+            self.kernel.trace.emit(
+                "node.power_off", t_s=self.now_s, subsystem="power",
+                node=node_name,
+            )
 
     # -- energy integration ---------------------------------------------------
 
@@ -191,18 +203,13 @@ class PowerManagedScheduler(MauiScheduler):
         booted = [n for n in allocation.node_names if n in self._just_booted]
         super()._start(job, allocation)
         if booted and self.manage_power:
-            # The job waits for its nodes to boot: shift its window.
+            # The job waits for its nodes to boot: shift its window and
+            # re-key the completion event through the kernel's first-class
+            # reschedule API (no private heap to mutate).
             assert job.start_time_s is not None and job.end_time_s is not None
             job.start_time_s += self.boot_delay_s
             job.end_time_s += self.boot_delay_s
-            # Re-key the completion event with the delayed end time.
-            import heapq
-
-            self._events = [
-                (t, i, j) if j is not job else (job.end_time_s, i, j)
-                for (t, i, j) in self._events
-            ]
-            heapq.heapify(self._events)
+            self.reschedule_completion(job)
             for node in booted:
                 self._just_booted.discard(node)
 
@@ -226,20 +233,19 @@ class PowerManagedScheduler(MauiScheduler):
         self._account_energy(self.now_s)
         return super().submit(job)
 
-    def step(self) -> bool:
-        if not self._events:
-            return False
-        next_time = self._events[0][0]
-        self._account_energy(next_time)
-        progressed = super().step()
+    def _on_job_end(self, job: Job) -> None:
+        # The kernel advanced the clock to the completion time; integrate
+        # energy over the elapsed interval while the job still holds its
+        # cores (busy draw), then complete it and power down what idles.
+        self._account_energy(self.now_s)
+        super()._on_job_end(job)
         if self.manage_power:
             self._power_off_idle()
-        return progressed
 
     def run_to_completion(self):  # type: ignore[override]
         # Blackout windows can stall pending work with no completion events
-        # to advance time; whenever that happens, jump the clock to the
-        # window's end (energy accounted with the nodes off) and retry.
+        # to advance time; whenever that happens, run the kernel forward to
+        # the window's end (energy accounted with the nodes off) and retry.
         while True:
             while self.step():
                 pass
@@ -247,7 +253,7 @@ class PowerManagedScheduler(MauiScheduler):
                 assert self.blackout is not None
                 wake = self.blackout.next_window_end(self.now_s)
                 self._account_energy(wake)
-                self.now_s = wake
+                self.kernel.run_until(wake)
                 self._try_start_jobs()
                 continue
             break

@@ -10,6 +10,7 @@ queue does not starve others even without fair-share history.
 from __future__ import annotations
 
 from ..errors import SchedulerError
+from ..sim import SimKernel
 from .base import BaseScheduler, ClusterResources
 from .job import Job
 
@@ -25,8 +26,10 @@ class SgeScheduler(BaseScheduler):
     scheduler_name = "sge"
     backfill = False
 
-    def __init__(self, resources: ClusterResources) -> None:
-        super().__init__(resources)
+    def __init__(
+        self, resources: ClusterResources, *, kernel: SimKernel | None = None
+    ) -> None:
+        super().__init__(resources, kernel=kernel)
         self.tickets: dict[str, int] = {}
 
     def set_tickets(self, user: str, tickets: int) -> None:

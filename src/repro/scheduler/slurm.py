@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..sim import SimKernel
 from .base import BaseScheduler, ClusterResources
 from .job import Job
 
@@ -37,8 +38,9 @@ class SlurmScheduler(BaseScheduler):
         resources: ClusterResources,
         *,
         weights: MultifactorWeights | None = None,
+        kernel: SimKernel | None = None,
     ) -> None:
-        super().__init__(resources)
+        super().__init__(resources, kernel=kernel)
         self.weights = weights or MultifactorWeights()
         #: core-seconds consumed per user (decayed usage in real SLURM;
         #: cumulative here, which preserves the fair-share ordering)
@@ -63,11 +65,12 @@ class SlurmScheduler(BaseScheduler):
             key=lambda j: (-self.priority_of(j), j.submit_time_s, j.job_id),
         )
 
-    def step(self) -> bool:
-        """Advance one event, charging completed jobs to user usage."""
-        before = set(id(j) for j in self.finished)
-        progressed = super().step()
-        for job in self.finished:
-            if id(job) not in before and job.start_time_s is not None:
-                self.usage[job.user] = self.usage.get(job.user, 0.0) + job.core_seconds
-        return progressed
+    def _on_job_end(self, job: Job) -> None:
+        """Complete the job, then charge its core-seconds to user usage.
+
+        Charging happens after the post-completion scheduling pass (inside
+        ``super()``), matching real SLURM where the decay thread updates
+        usage asynchronously from the scheduling loop.
+        """
+        super()._on_job_end(job)
+        self.usage[job.user] = self.usage.get(job.user, 0.0) + job.core_seconds

@@ -10,6 +10,7 @@ ablation bench can compare them.
 from __future__ import annotations
 
 from ..errors import SchedulerError
+from ..sim import SimKernel
 from .base import BaseScheduler, ClusterResources
 from .job import Job
 
@@ -36,8 +37,10 @@ class MauiScheduler(BaseScheduler):
     scheduler_name = "torque+maui"
     backfill = True
 
-    def __init__(self, resources: ClusterResources) -> None:
-        super().__init__(resources)
+    def __init__(
+        self, resources: ClusterResources, *, kernel: SimKernel | None = None
+    ) -> None:
+        super().__init__(resources, kernel=kernel)
         self._qos_boost: dict[int, int] = {}
 
     def boost(self, job: Job, amount: int) -> None:

@@ -1,0 +1,124 @@
+"""The event queue: a stable priority queue over simulated time.
+
+Ordering is ``(time_s, seq)`` where ``seq`` is a per-queue submission
+serial — events scheduled for the same instant fire in submission order
+(stable FIFO tie-break), which is what makes whole-simulation runs
+deterministic and traces byte-identical across runs.
+
+Cancellation is lazy: a cancelled handle stays in the heap and is skipped
+at pop time, the standard O(log n) trick that avoids heap surgery.
+:meth:`EventQueue.reschedule` is the first-class replacement for the "pull
+the tuple out and heapify" pattern this module retired.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable
+
+from ..errors import SimulationError
+
+__all__ = ["EventHandle", "EventQueue"]
+
+
+class EventHandle:
+    """One scheduled event; compare by ``(time_s, seq)`` for heap order."""
+
+    __slots__ = ("time_s", "seq", "callback", "label", "_dead")
+
+    def __init__(
+        self, time_s: float, seq: int, callback: Callable[[], object], label: str
+    ) -> None:
+        self.time_s = time_s
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self._dead = False  # cancelled or already fired
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending."""
+        return not self._dead
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time_s, self.seq) < (other.time_s, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self.active else "dead"
+        return f"EventHandle({self.label!r}, t={self.time_s}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """The kernel's pending-event heap."""
+
+    def __init__(self) -> None:
+        self._heap: list[EventHandle] = []
+        self._next_seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return self._live
+
+    def schedule(
+        self,
+        time_s: float,
+        callback: Callable[[], object],
+        *,
+        label: str = "event",
+    ) -> EventHandle:
+        """Enqueue ``callback`` to fire at ``time_s``; returns its handle."""
+        time_s = float(time_s)
+        if math.isnan(time_s) or math.isinf(time_s):
+            raise SimulationError(f"cannot schedule an event at t={time_s}")
+        handle = EventHandle(time_s, self._next_seq, callback, label)
+        self._next_seq += 1
+        heapq.heappush(self._heap, handle)
+        self._live += 1
+        return handle
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending event (lazy deletion)."""
+        if not handle.active:
+            raise SimulationError(
+                f"event {handle.label!r} already fired or was cancelled"
+            )
+        handle._dead = True
+        self._live -= 1
+
+    def reschedule(self, handle: EventHandle, time_s: float) -> EventHandle:
+        """Move a pending event to a new time; returns the new handle.
+
+        The event re-enters the queue as if newly submitted (it takes a
+        fresh serial, so it fires after events already scheduled for the
+        same instant) — the first-class API that replaces mutating the
+        heap representation in place.
+        """
+        callback, label = handle.callback, handle.label
+        self.cancel(handle)
+        return self.schedule(time_s, callback, label=label)
+
+    def _prune(self) -> None:
+        while self._heap and not self._heap[0].active:
+            heapq.heappop(self._heap)
+
+    def peek(self) -> EventHandle | None:
+        """The earliest pending event, or None when empty."""
+        self._prune()
+        return self._heap[0] if self._heap else None
+
+    def peek_time_s(self) -> float | None:
+        """The earliest pending event's time, or None when empty."""
+        head = self.peek()
+        return head.time_s if head is not None else None
+
+    def pop(self) -> EventHandle | None:
+        """Remove and return the earliest pending event (None when empty)."""
+        self._prune()
+        if not self._heap:
+            return None
+        handle = heapq.heappop(self._heap)
+        handle._dead = True  # fired: the handle can no longer be cancelled
+        self._live -= 1
+        return handle

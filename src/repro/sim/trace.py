@@ -1,0 +1,234 @@
+"""The structured trace bus: typed events, counters, JSONL export.
+
+Every subsystem publishes what it did to one :class:`TraceBus` as typed
+events (``job.start``, ``node.power_on``, ``msg.xfer``, ...).  The bus
+checks each event against :data:`EVENT_SCHEMA` at emit time, keeps
+per-kind and per-subsystem counters, and serialises to JSONL with sorted
+keys — so two runs with the same seed produce byte-identical trace files
+that CI can diff and validate.
+
+JSONL envelope (one event per line)::
+
+    {"data": {...}, "kind": "job.start", "seq": 12, "sub": "scheduler", "t": 60.0}
+
+``seq`` is the emission serial, ``t`` the simulated timestamp (per-entity
+timelines may stamp events ahead of the kernel clock, so ``t`` is not
+globally monotonic — ``seq`` is).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..errors import TraceError
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "TraceEvent",
+    "TraceBus",
+    "register_event_kind",
+    "validate_event",
+    "validate_jsonl",
+]
+
+#: Required data fields (and their types) per event kind.  ``float`` accepts
+#: ints too; extra fields are always allowed.  Extend with
+#: :func:`register_event_kind`.
+EVENT_SCHEMA: dict[str, dict[str, type]] = {
+    # scheduler
+    "job.submit": {"job": str, "user": str, "cores": int},
+    "job.start": {"job": str, "cores": int, "nodes": str, "wait_s": float},
+    "job.end": {"job": str, "state": str},
+    "job.cancel": {"job": str},
+    # power management
+    "node.power_on": {"node": str, "boot_delay_s": float},
+    "node.power_off": {"node": str},
+    # MPI fabric traffic
+    "msg.xfer": {"src": int, "dst": int, "nbytes": int, "elapsed_s": float},
+    "mpi.barrier": {"ranks": int},
+    # monitoring mesh
+    "metric.sample": {"host": str, "metric": str, "value": float},
+    "monitor.cycle": {"hosts_up": int, "hosts_total": int, "load_total": float},
+    # package mirror and grid data movement
+    "mirror.sync": {"repo": str, "nbytes": int, "files": int, "skipped": bool},
+    "grid.xfer": {"file": str, "nbytes": int, "retries": int},
+}
+
+
+def register_event_kind(kind: str, fields: dict[str, type]) -> None:
+    """Add a new event kind to the schema (extension point for new layers)."""
+    if kind in EVENT_SCHEMA:
+        raise TraceError(f"event kind {kind!r} is already registered")
+    EVENT_SCHEMA[kind] = dict(fields)
+
+
+def _type_ok(value: object, expected: type) -> bool:
+    if expected is float:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, expected)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One published event."""
+
+    seq: int
+    t_s: float
+    kind: str
+    subsystem: str
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "t": self.t_s,
+            "kind": self.kind,
+            "sub": self.subsystem,
+            "data": dict(self.data),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def validate_event(obj: Mapping[str, Any]) -> list[str]:
+    """Check one decoded JSONL object against the schema; returns problems."""
+    problems: list[str] = []
+    for key, expected in (("seq", int), ("t", float), ("kind", str), ("sub", str)):
+        if key not in obj:
+            problems.append(f"missing envelope field {key!r}")
+        elif not _type_ok(obj[key], expected):
+            problems.append(f"envelope field {key!r} has type {type(obj[key]).__name__}")
+    data = obj.get("data")
+    if not isinstance(data, Mapping):
+        problems.append("missing or non-object 'data'")
+        return problems
+    kind = obj.get("kind")
+    if not isinstance(kind, str):
+        return problems
+    schema = EVENT_SCHEMA.get(kind)
+    if schema is None:
+        problems.append(f"unknown event kind {kind!r}")
+        return problems
+    for name, expected in schema.items():
+        if name not in data:
+            problems.append(f"{kind}: missing data field {name!r}")
+        elif not _type_ok(data[name], expected):
+            problems.append(
+                f"{kind}: data field {name!r} has type {type(data[name]).__name__}, "
+                f"wanted {expected.__name__}"
+            )
+    return problems
+
+
+def validate_jsonl(text: str) -> tuple[int, list[str]]:
+    """Validate a whole JSONL trace; returns (event count, problems).
+
+    Problems are prefixed with their 1-based line number.  Sequence numbers
+    must be strictly increasing (the bus emits them that way).
+    """
+    problems: list[str] = []
+    count = 0
+    last_seq = -1
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not JSON ({exc.msg})")
+            continue
+        count += 1
+        for problem in validate_event(obj):
+            problems.append(f"line {lineno}: {problem}")
+        seq = obj.get("seq")
+        if isinstance(seq, int):
+            if seq <= last_seq:
+                problems.append(f"line {lineno}: seq {seq} not increasing")
+            last_seq = seq
+    return count, problems
+
+
+class TraceBus:
+    """The simulation's structured event log.
+
+    ``enabled=False`` turns the bus into a no-op (the overhead benchmark's
+    baseline).  Subscribers are called synchronously on every emit — the
+    hook co-simulation harnesses use to react to events as they happen.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+        self.by_kind: Counter[str] = Counter()
+        self.by_subsystem: Counter[str] = Counter()
+        self._subscribers: list[Callable[[TraceEvent], None]] = []
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def subscribe(self, fn: Callable[[TraceEvent], None]) -> None:
+        """Call ``fn(event)`` synchronously on every future emit."""
+        self._subscribers.append(fn)
+
+    def emit(
+        self, kind: str, *, t_s: float, subsystem: str, **data: Any
+    ) -> TraceEvent | None:
+        """Publish one event; returns it (or None when the bus is off)."""
+        if not self.enabled:
+            return None
+        schema = EVENT_SCHEMA.get(kind)
+        if schema is None:
+            raise TraceError(f"unknown event kind {kind!r}")
+        for name, expected in schema.items():
+            if name not in data:
+                raise TraceError(f"{kind}: missing data field {name!r}")
+            if not _type_ok(data[name], expected):
+                raise TraceError(
+                    f"{kind}: data field {name!r} has type "
+                    f"{type(data[name]).__name__}, wanted {expected.__name__}"
+                )
+        event = TraceEvent(
+            seq=self._next_seq, t_s=float(t_s), kind=kind, subsystem=subsystem,
+            data=data,
+        )
+        self._next_seq += 1
+        self.events.append(event)
+        self.by_kind[kind] += 1
+        self.by_subsystem[subsystem] += 1
+        for fn in self._subscribers:
+            fn(event)
+        return event
+
+    def count(self, kind: str | None = None, *, subsystem: str | None = None) -> int:
+        """Events seen, optionally filtered by kind or subsystem."""
+        if kind is not None:
+            return self.by_kind[kind]
+        if subsystem is not None:
+            return self.by_subsystem[subsystem]
+        return len(self.events)
+
+    def to_jsonl(self) -> str:
+        """The whole trace as JSONL (deterministic byte-for-byte)."""
+        return "".join(e.to_json() + "\n" for e in self.events)
+
+    def write_jsonl(self, path) -> int:
+        """Write the trace to ``path``; returns the event count."""
+        import pathlib
+
+        pathlib.Path(path).write_text(self.to_jsonl())
+        return len(self.events)
+
+    def render_counters(self) -> str:
+        """A small per-kind summary table (for example/benchmark output)."""
+        lines = [f"{'event kind':<18}{'count':>8}"]
+        for kind in sorted(self.by_kind):
+            lines.append(f"{kind:<18}{self.by_kind[kind]:>8}")
+        lines.append(f"{'total':<18}{len(self.events):>8}")
+        return "\n".join(lines)

@@ -4,6 +4,12 @@ Campus clusters often mirror the XSEDE repository locally so compute nodes
 update from the frontend instead of the WAN (this is also how Rocks serves
 its distribution).  The mirror tracks the upstream ``repomd`` checksum and
 only transfers changed NEVRAs on resync.
+
+Transfer time is *spent on the simulation kernel*: each sync advances the
+kernel clock by the modelled duration (firing any co-simulated events due
+inside the window) and publishes a ``mirror.sync`` trace event.  Pass a
+shared :class:`~repro.sim.SimKernel` to interleave mirror traffic with the
+rest of the cluster; without one the mirror keeps its own.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from dataclasses import dataclass, field
 
 from ..errors import YumError
 from ..rpm.package import Package
+from ..sim import SimKernel
 from .repository import Repository
 
 __all__ = ["MirrorLink", "RepoMirror", "SyncStats"]
@@ -45,9 +52,17 @@ class SyncStats:
 class RepoMirror:
     """A local mirror of one upstream repository."""
 
-    def __init__(self, upstream: Repository, link: MirrorLink, *, repo_id: str = ""):
+    def __init__(
+        self,
+        upstream: Repository,
+        link: MirrorLink,
+        *,
+        repo_id: str = "",
+        kernel: SimKernel | None = None,
+    ):
         self.upstream = upstream
         self.link = link
+        self.kernel = kernel if kernel is not None else SimKernel()
         self.local = Repository(
             repo_id or f"{upstream.repo_id}-mirror",
             name=f"{upstream.name} (local mirror)",
@@ -55,6 +70,10 @@ class RepoMirror:
         )
         self._synced_checksum: str | None = None
         self.sync_history: list[SyncStats] = []
+
+    def _spend(self, seconds: float) -> None:
+        """Advance shared simulated time by a modelled transfer duration."""
+        self.kernel.run_until(self.kernel.now_s + seconds)
 
     @property
     def is_current(self) -> bool:
@@ -64,12 +83,18 @@ class RepoMirror:
     def sync(self) -> SyncStats:
         """Bring the mirror up to date, transferring only the delta."""
         stats = SyncStats()
+        started_s = self.kernel.now_s
         upstream_sum = self.upstream.repomd_checksum()
         # Metadata probe always costs one round trip.
-        stats.elapsed_s += self.link.transfer_time_s(16 * 1024)
+        self._spend(self.link.transfer_time_s(16 * 1024))
         if self._synced_checksum == upstream_sum:
             stats.skipped = True
+            stats.elapsed_s = self.kernel.now_s - started_s
             self.sync_history.append(stats)
+            self.kernel.trace.emit(
+                "mirror.sync", t_s=self.kernel.now_s, subsystem="yum",
+                repo=self.local.repo_id, nbytes=0, files=0, skipped=True,
+            )
             return stats
 
         upstream_by_nevra: dict[str, Package] = {
@@ -92,9 +117,17 @@ class RepoMirror:
             stats.fetched_nevras.append(pkg.nevra)
             stats.bytes_transferred += pkg.size_bytes
         if to_fetch:
-            stats.elapsed_s += self.link.transfer_time_s(
-                stats.bytes_transferred, requests=len(to_fetch)
+            self._spend(
+                self.link.transfer_time_s(
+                    stats.bytes_transferred, requests=len(to_fetch)
+                )
             )
+        stats.elapsed_s = self.kernel.now_s - started_s
         self._synced_checksum = upstream_sum
         self.sync_history.append(stats)
+        self.kernel.trace.emit(
+            "mirror.sync", t_s=self.kernel.now_s, subsystem="yum",
+            repo=self.local.repo_id, nbytes=stats.bytes_transferred,
+            files=len(stats.fetched_nevras), skipped=False,
+        )
         return stats

@@ -58,6 +58,13 @@ def test_training_workshop():
     assert "Teaching moments" in output
 
 
+def test_cosim_limulus():
+    output = run_example("cosim_limulus")
+    assert "traces byte-identical: True" in output
+    assert "monitor.cycle" in output  # the trace-bus counter table
+    assert "ranks" in output and "communication" in output
+
+
 def test_deskside_research():
     output = run_example("deskside_research")
     assert "crossover" in output

@@ -49,6 +49,24 @@ class TestRrd:
         with pytest.raises(MonitoringError, match="out-of-order"):
             rrd.update(50.0, 1.0)
 
+    def test_same_slot_late_sample_overwrites(self):
+        """Sub-step jitter is tolerated: a late sample landing in the
+        current slot overwrites it (last write wins)."""
+        rrd = Rrd(step_s=10.0, slots=6)
+        rrd.update(14.0, 2.0)
+        rrd.update(12.0, 8.0)  # 2s late, same slot
+        latest = rrd.latest()
+        assert latest.value == pytest.approx(8.0)
+        assert latest.samples == 1
+        rrd.update(15.0, 4.0)  # in-order again: consolidates as usual
+        assert rrd.latest().value == pytest.approx(6.0)
+
+    def test_cross_slot_regression_still_rejected(self):
+        rrd = Rrd(step_s=10.0, slots=6)
+        rrd.update(25.0, 1.0)
+        with pytest.raises(MonitoringError, match="out-of-order"):
+            rrd.update(9.0, 1.0)
+
     def test_statistics(self):
         rrd = Rrd(step_s=1.0, slots=10)
         for t, v in enumerate([2.0, 4.0, 6.0]):

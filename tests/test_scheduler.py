@@ -266,6 +266,39 @@ class TestPowerManagement:
         s.run_to_completion()
         assert all(s.resources.is_offline(n) for n in s.resources.node_names())
 
+    def test_boot_delayed_jobs_keep_completion_order(self, limulus_machine):
+        """Regression: shifting completions by the boot delay must re-key
+        the pending events (kernel reschedule), not corrupt their order.
+        Both jobs boot-shift by 60s; the short one still finishes first."""
+        s = PowerManagedScheduler(
+            limulus_machine, manage_power=True, boot_delay_s=60.0
+        )
+        long_job = s.submit(job("long", 4, runtime=100))
+        short_job = s.submit(job("short", 4, runtime=30))
+        s.run_to_completion()
+        assert [j.name for j in s.finished] == ["short", "long"]
+        assert short_job.end_time_s == pytest.approx(90.0)
+        assert long_job.end_time_s == pytest.approx(160.0)
+        assert not s._completions  # every handle consumed exactly once
+
+    def test_power_transitions_are_traced(self, limulus_machine):
+        s = PowerManagedScheduler(
+            limulus_machine, manage_power=True, boot_delay_s=60.0
+        )
+        s.submit(job("j", 4, runtime=100))
+        s.run_to_completion()
+        trace = s.kernel.trace
+        assert trace.count("node.power_on") >= 1
+        assert trace.count("node.power_off") >= 1
+        assert trace.count("job.end") == 1
+
+    def test_reschedule_completion_without_event_rejected(self, limulus_machine):
+        s = PowerManagedScheduler(limulus_machine, manage_power=False)
+        j = s.submit(job("j", 4, runtime=100))
+        s.run_to_completion()
+        with pytest.raises(SchedulerError, match="no pending completion"):
+            s.reschedule_completion(j)
+
 
 # --- property: no oversubscription under random traces -------------------------
 
