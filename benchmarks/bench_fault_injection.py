@@ -1,0 +1,117 @@
+"""Microbench — fault injection throughput and the retry path's overhead.
+
+Two questions about ``repro.faults``:
+
+1. injection throughput: how fast plans of scheduled fault events apply
+   through the kernel (crash + recover churn against a live scheduler);
+2. what resilience costs: the chaos workload with faults injected vs the
+   identical fault-free workload — the price of requeues, backoff waits,
+   and degradation bookkeeping on wall-clock simulation speed.
+"""
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultSpec, RetryPolicy, call_with_retry
+from repro.faults.chaos import run_chaos
+from repro.errors import YumError
+from repro.sim import SimKernel
+
+N_FAULT_CYCLES = 400
+
+
+def crash_recover_churn(cycles=N_FAULT_CYCLES):
+    """A plan of `cycles` crash/recover pairs applied to a live cluster."""
+    faults = []
+    for i in range(cycles):
+        node = f"littlefe-iu-n{1 + (i % 5)}"
+        faults.append(
+            FaultSpec(FaultKind.NODE_CRASH, node, at_s=10.0 + 20.0 * i,
+                      duration_s=10.0)
+        )
+    plan = FaultPlan("bench-churn", tuple(faults))
+    run = run_chaos(plan, seed=1, cluster="littlefe", job_count=4,
+                    with_mirror=False)
+    return run
+
+
+def retry_storm(calls=2_000):
+    """call_with_retry where every call fails twice then succeeds."""
+    kernel = SimKernel(seed=2)
+    policy = RetryPolicy(max_attempts=4, base_delay_s=0.5, jitter=0.1)
+    done = 0
+    for _ in range(calls):
+        state = {"n": 0}
+
+        def flaky():
+            state["n"] += 1
+            if state["n"] < 3:
+                raise YumError("transient")
+            return state["n"]
+
+        call_with_retry(kernel, flaky, policy=policy, op="bench.flaky")
+        done += 1
+    return kernel, done
+
+
+def test_bench_fault_injection_throughput(benchmark, save_artifact):
+    run = benchmark(crash_recover_churn)
+    injections = run.report.faults_injected
+    per_s = injections / benchmark.stats["mean"]
+
+    lines = [
+        "Microbench: fault injection throughput",
+        f"  plan size:        {N_FAULT_CYCLES} crash/recover faults",
+        f"  injected:         {injections} (+ {run.report.faults_recovered} recoveries)",
+        f"  requeues:         {run.report.requeues}",
+        f"  mean run:         {benchmark.stats['mean'] * 1e3:.1f} ms",
+        f"  injections/s:     {per_s:,.0f}",
+        f"  invariants:       {'all hold' if run.report.ok else 'VIOLATED'}",
+    ]
+    save_artifact("bench_fault_injection_throughput", "\n".join(lines))
+    assert run.report.ok, run.report.violations
+    assert injections == N_FAULT_CYCLES
+
+
+def test_bench_retry_path_overhead(benchmark, save_artifact):
+    kernel, done = benchmark(retry_storm)
+    attempts = done * 3  # two failures + one success per call
+    per_s = attempts / benchmark.stats["mean"]
+
+    lines = [
+        "Microbench: retry/backoff path",
+        f"  calls:            {done} (each: 2 failures + 1 success)",
+        f"  attempts:         {attempts}",
+        f"  retry events:     {kernel.trace.count('fault.retry')}",
+        f"  mean run:         {benchmark.stats['mean'] * 1e3:.1f} ms",
+        f"  attempts/s:       {per_s:,.0f}",
+    ]
+    save_artifact("bench_retry_path_overhead", "\n".join(lines))
+    assert kernel.trace.count("fault.retry") == done * 2
+
+
+def test_bench_chaos_vs_fault_free(benchmark, save_artifact):
+    """The resilience tax: identical workload, with and without faults."""
+    import time
+
+    start = time.perf_counter()
+    clean = run_chaos(FaultPlan("none"), seed=3, cluster="littlefe")
+    clean_s = time.perf_counter() - start
+
+    chaotic = benchmark(lambda: run_chaos(seed=3, cluster="littlefe"))
+    chaos_s = benchmark.stats["mean"]
+    overhead = (chaos_s - clean_s) / clean_s * 100.0 if clean_s > 0 else 0.0
+
+    lines = [
+        "Chaos run vs fault-free baseline (littlefe, 12 jobs, seed 3)",
+        f"  fault-free:       {clean_s * 1e3:.1f} ms, "
+        f"{clean.kernel.events_processed} events",
+        f"  with faults:      {chaos_s * 1e3:.1f} ms, "
+        f"{chaotic.kernel.events_processed} events",
+        f"  overhead:         {overhead:+.0f}%",
+        f"  requeues:         {chaotic.report.requeues}",
+        f"  retries:          {chaotic.report.retries}",
+        f"  invariants:       "
+        f"{'all hold' if chaotic.report.ok and clean.report.ok else 'VIOLATED'}",
+    ]
+    save_artifact("bench_chaos_vs_fault_free", "\n".join(lines))
+    assert clean.report.ok and chaotic.report.ok

@@ -38,6 +38,9 @@ __all__ = [
     "MpiError",
     "SimulationError",
     "TraceError",
+    "FaultError",
+    "RetryExhaustedError",
+    "NodeOfflineError",
     "SchedulerError",
     "JobError",
     "LinpackError",
@@ -188,6 +191,32 @@ class SimulationError(ReproError):
 
 class TraceError(SimulationError):
     """A trace event violates the schema (unknown kind, missing field, ...)."""
+
+
+# --- fault injection / recovery -------------------------------------------------
+
+
+class FaultError(ReproError):
+    """Base class for injected-fault and recovery-machinery errors."""
+
+
+class RetryExhaustedError(FaultError):
+    """An operation failed on every attempt a :class:`RetryPolicy` allowed.
+
+    ``last_error`` carries the final underlying failure; ``attempts`` the
+    number of tries made before giving up.
+    """
+
+    def __init__(
+        self, message: str, *, attempts: int = 0, last_error: Exception | None = None
+    ):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class NodeOfflineError(FaultError):
+    """An operation was routed to a node that is crashed, drained, or off."""
 
 
 # --- scheduler ----------------------------------------------------------------

@@ -1,0 +1,100 @@
+"""Chaos-run CLI: replay a fault plan against a simulated cluster.
+
+::
+
+    python -m repro.faults                         # built-in demo plan, littlefe
+    python -m repro.faults --cluster limulus --seed 7
+    python -m repro.faults --plan plans/crash.json --trace out.jsonl
+    python -m repro.faults --check-determinism     # run twice, diff traces
+
+Exits non-zero when any invariant is violated or (with
+``--check-determinism``) when two same-seed runs diverge byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from ..errors import ReproError
+from .chaos import CLUSTERS, run_chaos
+from .plan import FaultPlan
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Replay a fault plan against a simulated cluster "
+        "and audit invariants.",
+    )
+    parser.add_argument(
+        "--plan", type=pathlib.Path, default=None,
+        help="JSON fault plan (default: built-in two-node-crash demo)",
+    )
+    parser.add_argument(
+        "--cluster", choices=sorted(CLUSTERS), default="littlefe",
+        help="which reference machine to build (default: littlefe)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="kernel RNG seed")
+    parser.add_argument(
+        "--jobs", type=int, default=12, help="workload size (default: 12)"
+    )
+    parser.add_argument(
+        "--trace", type=pathlib.Path, default=None,
+        help="write the JSONL trace here",
+    )
+    parser.add_argument(
+        "--check-determinism", action="store_true",
+        help="run the scenario twice and require byte-identical traces",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the report"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        plan = FaultPlan.load(args.plan) if args.plan is not None else None
+        run = run_chaos(
+            plan, seed=args.seed, cluster=args.cluster, job_count=args.jobs
+        )
+    except (ReproError, OSError, ValueError) as exc:
+        # OSError: unreadable --plan path; ValueError: malformed JSON.
+        print(f"chaos run failed: {exc}", file=sys.stderr)
+        return 2
+
+    if args.trace is not None:
+        args.trace.write_text(run.jsonl)
+
+    if not args.quiet:
+        print(
+            f"chaos: cluster={args.cluster} seed={args.seed} "
+            f"events={run.kernel.events_processed} "
+            f"t_end={run.kernel.now_s:.0f}s"
+        )
+        print(run.report.render())
+
+    status = 0 if run.report.ok else 1
+
+    if args.check_determinism:
+        rerun = run_chaos(
+            FaultPlan.load(args.plan) if args.plan is not None else None,
+            seed=args.seed, cluster=args.cluster, job_count=args.jobs,
+        )
+        if rerun.jsonl != run.jsonl:
+            print(
+                "determinism check FAILED: same seed produced different "
+                "traces", file=sys.stderr,
+            )
+            status = 1
+        elif not args.quiet:
+            print(
+                f"determinism check: OK "
+                f"({len(run.jsonl.encode())} bytes, both runs identical)"
+            )
+
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

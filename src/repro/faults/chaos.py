@@ -1,0 +1,340 @@
+"""The chaos harness: replay a fault plan against a whole cluster stack.
+
+One call builds a machine (LittleFe or Limulus), a Maui scheduler, a
+Ganglia monitoring mesh, and an XSEDE repo mirror on a single seeded
+kernel; schedules a deterministic workload and the plan's faults as
+kernel events; runs everything to quiescence; and then audits an
+invariant set instead of trusting that "it didn't crash" means "it
+worked":
+
+* **completion** — every submitted job ended COMPLETED or FAILED; nothing
+  is stuck PENDING or phantom-RUNNING;
+* **no event-queue leaks** — once the periodic sampler stops, the kernel
+  queue is empty and the heap holds zero lazily-cancelled corpses;
+* **no resource leaks** — every online node's free cores equal capacity;
+* **trace integrity** — the JSONL validates against the event schema with
+  strictly increasing sequence numbers;
+* **monitoring confluence** — permanently crashed nodes are on gmetad's
+  dead list by the end of the run.
+
+Determinism (same seed ⇒ byte-identical JSONL) is checked by the CLI
+(``python -m repro.faults --check-determinism``) by running the whole
+harness twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..distro.distribution import CENTOS_6_5
+from ..distro.host import Host
+from ..errors import FaultError, RetryExhaustedError
+from ..hardware.builder import build_limulus_hpc200, build_littlefe_modified
+from ..monitoring.gmetad import Gmetad
+from ..monitoring.gmond import Gmond
+from ..rpm.package import Package
+from ..scheduler.base import ClusterResources
+from ..scheduler.job import Job, JobState
+from ..scheduler.torque import MauiScheduler
+from ..sim import SimKernel, validate_jsonl
+from ..yum.mirror import MirrorLink, RepoMirror
+from ..yum.repository import Repository
+from .inject import FaultInjector
+from .plan import FaultKind, FaultPlan, FaultSpec
+from .retry import RetryPolicy
+
+__all__ = ["ChaosReport", "ChaosRun", "run_chaos", "demo_plan", "CLUSTERS"]
+
+#: Machines the harness can build, by name.
+CLUSTERS = {
+    "littlefe": lambda: build_littlefe_modified().machine,
+    "limulus": lambda: build_limulus_hpc200().machine,
+}
+
+#: Safety bound: no sane chaos run needs more kernel events than this.
+_MAX_EVENTS = 2_000_000
+
+
+@dataclass
+class ChaosReport:
+    """The audited outcome of one chaos run."""
+
+    jobs_total: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    requeues: int = 0
+    faults_injected: int = 0
+    faults_recovered: int = 0
+    retries: int = 0
+    giveups: int = 0
+    dead_hosts: list[str] = field(default_factory=list)
+    mirror_sync_ok: bool | None = None
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [
+            f"jobs: {self.jobs_completed} completed, {self.jobs_failed} failed "
+            f"of {self.jobs_total} ({self.requeues} requeue(s))",
+            f"faults: {self.faults_injected} injected, "
+            f"{self.faults_recovered} recovered; "
+            f"{self.retries} retry(ies), {self.giveups} giveup(s)",
+            f"monitoring: dead hosts {self.dead_hosts or 'none'}",
+        ]
+        if self.mirror_sync_ok is not None:
+            lines.append(
+                "mirror: sync "
+                + ("recovered" if self.mirror_sync_ok else "gave up (degraded)")
+            )
+        if self.violations:
+            lines.append("INVARIANT VIOLATIONS:")
+            lines.extend(f"  - {v}" for v in self.violations)
+        else:
+            lines.append("invariants: all hold")
+        return "\n".join(lines)
+
+
+@dataclass
+class ChaosRun:
+    """Everything a chaos run produced (for tests and the CLI)."""
+
+    kernel: SimKernel
+    scheduler: MauiScheduler
+    gmetad: Gmetad
+    mirror: RepoMirror | None
+    injector: FaultInjector
+    report: ChaosReport
+    jsonl: str
+
+
+def demo_plan(machine) -> FaultPlan:
+    """The built-in scenario: crash two compute nodes mid-workload (one
+    recovers, one stays dead), lose a heartbeat, and corrupt the mirror."""
+    compute = [n.name for n in machine.compute_nodes]
+    if len(compute) < 3:
+        raise FaultError("demo plan needs at least three compute nodes")
+    return FaultPlan(
+        name=f"demo-{machine.name}",
+        faults=(
+            # Disk fills just before the sync starts, so the sync's first
+            # attempts fail and the retry policy backs off until space frees.
+            FaultSpec(FaultKind.DISK_FULL, "xsede-mirror", at_s=10.0,
+                      duration_s=60.0),
+            FaultSpec(FaultKind.MIRROR_CORRUPT, "xsede-mirror", at_s=5.0),
+            FaultSpec(FaultKind.NODE_CRASH, compute[1], at_s=700.0,
+                      duration_s=2400.0),
+            FaultSpec(FaultKind.PSU_FAIL, compute[2], at_s=950.0),
+            FaultSpec(FaultKind.HEARTBEAT_LOSS, compute[0], at_s=400.0,
+                      duration_s=120.0),
+        ),
+    )
+
+
+def _build_workload(kernel: SimKernel, machine, count: int) -> list[tuple[float, Job]]:
+    """A deterministic (seed-driven) job mix with staggered submit times."""
+    rng = kernel.rng
+    per_node = min(n.cores for n in machine.compute_nodes)
+    jobs = []
+    submit_s = 0.0
+    for index in range(count):
+        submit_s += 60.0 * rng.randrange(1, 6)
+        wide = rng.random() < 0.3
+        cores = per_node * rng.randrange(2, 4) if wide else rng.randrange(1, per_node + 1)
+        runtime_s = 300.0 + 60.0 * rng.randrange(0, 20)
+        jobs.append(
+            (
+                submit_s,
+                Job(
+                    f"chaos-j{index:02d}", "chaos", cores=cores,
+                    walltime_limit_s=4 * 3600.0, runtime_s=runtime_s,
+                ),
+            )
+        )
+    return jobs
+
+
+def _build_mirror(kernel: SimKernel) -> RepoMirror:
+    upstream = Repository("xsede", name="XSEDE campus bridging", priority=20)
+    for index in range(12):
+        upstream.add(
+            Package(
+                name=f"xsede-pkg{index:02d}", version="1.0",
+                size_bytes=(index + 1) * 256 * 1024,
+            )
+        )
+    return RepoMirror(
+        upstream,
+        MirrorLink(bandwidth_bytes_s=10e6, latency_s=0.05),
+        repo_id="xsede-mirror",
+        kernel=kernel,
+        retry=RetryPolicy(max_attempts=5, base_delay_s=5.0, max_delay_s=120.0),
+    )
+
+
+def _drain(kernel: SimKernel) -> None:
+    """Fire events until only periodic series (the sampler) remain."""
+    fired = 0
+    while len(kernel.queue) > kernel.periodic_count:
+        kernel.step()
+        fired += 1
+        if fired > _MAX_EVENTS:
+            raise FaultError(
+                f"chaos run exceeded {_MAX_EVENTS} events; runaway schedule?"
+            )
+
+
+def run_chaos(
+    plan: FaultPlan | None = None,
+    *,
+    seed: int = 0,
+    cluster: str = "littlefe",
+    job_count: int = 12,
+    with_mirror: bool = True,
+) -> ChaosRun:
+    """Build the stack, apply the plan, run to quiescence, audit."""
+    try:
+        machine = CLUSTERS[cluster]()
+    except KeyError:
+        known = ", ".join(sorted(CLUSTERS))
+        raise FaultError(f"unknown cluster {cluster!r} (known: {known})") from None
+
+    kernel = SimKernel(seed=seed)
+    scheduler = MauiScheduler(ClusterResources(machine), kernel=kernel)
+    gmetad = Gmetad(machine.name, poll_period_s=15.0, kernel=kernel)
+    for node in machine.nodes:
+        host = Host(node, CENTOS_6_5, diskless_image=node.diskless)
+
+        def load_for(node_name=node.name):
+            total = 0
+            for job in scheduler.running:
+                if job.allocation is None:
+                    continue
+                for name, cores in job.allocation.by_node:
+                    if name == node_name:
+                        total += cores
+            return total
+
+        gmetad.attach(Gmond(host, load_source=load_for))
+
+    mirror = _build_mirror(kernel) if with_mirror else None
+    mirror_outcome: bool | None = None
+
+    if plan is None:
+        plan = demo_plan(machine)
+    injector = FaultInjector(
+        kernel,
+        scheduler=scheduler,
+        machine=machine,
+        gmetad=gmetad,
+        mirrors=(mirror,) if mirror is not None else (),
+        pxe=None,
+    )
+    injector.apply(plan)
+
+    workload = _build_workload(kernel, machine, job_count)
+    all_jobs = [job for _t, job in workload]
+    for submit_s, job in workload:
+        kernel.at(submit_s, lambda job=job: scheduler.submit(job),
+                  label=f"chaos.submit:{job.name}")
+
+    if mirror is not None:
+        def sync_mirror() -> None:
+            nonlocal mirror_outcome
+            try:
+                mirror.sync()
+                mirror_outcome = True
+            except (RetryExhaustedError, FaultError):
+                # Degraded, not dead: the mirror stays stale and the run
+                # continues — exactly the behaviour the paper's admins need.
+                mirror_outcome = False
+
+        kernel.at(20.0, sync_mirror, label="chaos.mirror_sync")
+
+    sampler = gmetad.start_sampling()
+    _drain(kernel)
+    # Wind-down: enough polling periods for the heartbeat detector to
+    # declare permanently dead nodes, then stop sampling.
+    for _ in range(max(2, gmetad.dead_after_misses + 1)):
+        gmetad.poll_cycle()
+    sampler.cancel()
+    _drain(kernel)
+
+    report = _audit(kernel, scheduler, gmetad, injector, all_jobs, mirror_outcome)
+    return ChaosRun(
+        kernel=kernel, scheduler=scheduler, gmetad=gmetad, mirror=mirror,
+        injector=injector, report=report, jsonl=kernel.trace.to_jsonl(),
+    )
+
+
+def _audit(
+    kernel: SimKernel,
+    scheduler: MauiScheduler,
+    gmetad: Gmetad,
+    injector: FaultInjector,
+    jobs: list[Job],
+    mirror_outcome: bool | None,
+) -> ChaosReport:
+    trace = kernel.trace
+    report = ChaosReport(
+        jobs_total=len(jobs),
+        jobs_completed=sum(1 for j in jobs if j.state is JobState.COMPLETED),
+        jobs_failed=sum(1 for j in jobs if j.state is JobState.FAILED),
+        requeues=trace.count("job.requeue"),
+        faults_injected=trace.count("fault.inject"),
+        faults_recovered=trace.count("fault.recover"),
+        retries=trace.count("fault.retry"),
+        giveups=trace.count("fault.giveup"),
+        dead_hosts=gmetad.dead_hosts(),
+        mirror_sync_ok=mirror_outcome,
+    )
+
+    # 1. completion: every job reached a terminal state
+    for job in jobs:
+        if job.state not in (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED):
+            report.violations.append(
+                f"job {job.name} ended in non-terminal state {job.state.value}"
+            )
+    if scheduler.pending or scheduler.running:
+        report.violations.append(
+            f"scheduler still holds {len(scheduler.pending)} pending / "
+            f"{len(scheduler.running)} running job(s)"
+        )
+
+    # 2. event-queue leaks: nothing pending, no cancelled corpses
+    if len(kernel.queue) != 0:
+        report.violations.append(
+            f"event queue still holds {len(kernel.queue)} live event(s)"
+        )
+    kernel.queue.compact()
+    if kernel.queue.heap_size != 0:
+        report.violations.append(
+            f"event heap holds {kernel.queue.heap_size} entries after compaction"
+        )
+
+    # 3. resource leaks: nothing left allocated on any node (idle means
+    #    free == capacity regardless of offline/failed flags)
+    resources = scheduler.resources
+    for node in resources.node_names():
+        if not resources.is_idle(node):
+            report.violations.append(
+                f"node {node}: cores still allocated after the run"
+            )
+
+    # 4. trace integrity
+    count, problems = validate_jsonl(kernel.trace.to_jsonl())
+    for problem in problems:
+        report.violations.append(f"trace: {problem}")
+
+    # 5. monitoring confluence: permanently crashed nodes are on the dead list
+    dead = set(gmetad.dead_hosts())
+    for record in injector.history:
+        if record.spec.kind in (FaultKind.NODE_CRASH, FaultKind.PSU_FAIL):
+            if record.active and record.spec.target not in dead:
+                report.violations.append(
+                    f"crashed node {record.spec.target} never declared dead "
+                    f"by gmetad"
+                )
+    return report

@@ -1,0 +1,189 @@
+"""Retry/backoff policies and the circuit breaker.
+
+Campus-cluster recovery loops (PXE re-boot, mirror re-sync, GridFTP
+re-transfer) all share the same shape: try, fail, wait an exponentially
+growing-but-jittered delay, try again, give up after a bounded number of
+attempts or a wall-clock budget.  :class:`RetryPolicy` is that shape as
+data; :func:`call_with_retry` executes it *on the simulation kernel* —
+backoff delays are spent with ``kernel.run_until`` so co-simulated events
+fire inside the wait, jitter comes from the kernel's seeded RNG (same seed
+⇒ same delays ⇒ byte-identical traces), and every attempt is published as
+a ``fault.retry`` / ``fault.giveup`` trace event.
+
+:class:`CircuitBreaker` guards a repeatedly failing dependency: after
+``failure_threshold`` consecutive failures the circuit opens and calls
+fail fast (no load on the dying service) until ``reset_timeout_s`` of
+simulated time has passed, then one probe is allowed through (half-open).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from ..errors import FaultError, ReproError, RetryExhaustedError
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "call_with_retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Declarative exponential-backoff-with-jitter retry behaviour.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    try plus two retries.  ``deadline_s`` is a total simulated-time budget
+    measured from the first attempt; once it is exhausted no further retry
+    is scheduled even if attempts remain.  ``jitter`` is the +/- fraction
+    applied to each delay (0 disables it; determinism is preserved either
+    way because the randomness comes from the kernel RNG).
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 1.0
+    multiplier: float = 2.0
+    max_delay_s: float = 60.0
+    jitter: float = 0.1
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise FaultError("delays must be non-negative")
+        if self.multiplier < 1:
+            raise FaultError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0 <= self.jitter < 1:
+            raise FaultError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise FaultError("deadline must be positive")
+
+    def delay_for(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise FaultError(f"attempt must be >= 1, got {attempt}")
+        delay = min(
+            self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 1)
+        )
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker over simulated time.
+
+    States: *closed* (calls flow), *open* (calls fail fast with
+    :class:`~repro.errors.FaultError`), *half-open* (one probe allowed
+    after ``reset_timeout_s``; success closes the circuit, failure
+    re-opens it).
+    """
+
+    def __init__(
+        self, *, failure_threshold: int = 5, reset_timeout_s: float = 300.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise FaultError("failure threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise FaultError("reset timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._consecutive_failures = 0
+        self._opened_at_s: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        return (
+            "closed"
+            if self._opened_at_s is None
+            else ("half-open" if self._probing else "open")
+        )
+
+    def allow(self, now_s: float) -> bool:
+        """May a call proceed at ``now_s``?  (half-open admits one probe)"""
+        if self._opened_at_s is None:
+            return True
+        if now_s - self._opened_at_s >= self.reset_timeout_s:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._opened_at_s = None
+        self._probing = False
+
+    def record_failure(self, now_s: float) -> None:
+        self._consecutive_failures += 1
+        if self._probing or self._consecutive_failures >= self.failure_threshold:
+            self._opened_at_s = now_s
+            self._probing = False
+
+    def guard(self, now_s: float, service: str) -> None:
+        """Raise :class:`FaultError` when the circuit refuses the call."""
+        if not self.allow(now_s):
+            remaining = self.reset_timeout_s - (now_s - (self._opened_at_s or 0.0))
+            raise FaultError(
+                f"circuit open for {service}: "
+                f"{self._consecutive_failures} consecutive failure(s), "
+                f"retry allowed in {remaining:.0f}s"
+            )
+
+
+def call_with_retry(
+    kernel,
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy,
+    op: str,
+    subsystem: str = "faults",
+    retry_on: tuple[type[BaseException], ...] = (ReproError,),
+    breaker: CircuitBreaker | None = None,
+) -> T:
+    """Run ``fn`` under ``policy`` on a :class:`~repro.sim.SimKernel`.
+
+    Backoff is spent as simulated time (co-simulated events due inside the
+    wait fire first), each retry emits ``fault.retry``, and exhaustion
+    emits ``fault.giveup`` then raises
+    :class:`~repro.errors.RetryExhaustedError` chaining the last failure.
+    """
+    if breaker is not None:
+        breaker.guard(kernel.now_s, op)
+    started_s = kernel.now_s
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            result = fn()
+        except retry_on as exc:
+            if breaker is not None:
+                breaker.record_failure(kernel.now_s)
+            out_of_attempts = attempt >= policy.max_attempts
+            delay = policy.delay_for(attempt, kernel.rng)
+            over_deadline = (
+                policy.deadline_s is not None
+                and kernel.now_s + delay - started_s > policy.deadline_s
+            )
+            if out_of_attempts or over_deadline:
+                kernel.trace.emit(
+                    "fault.giveup", t_s=kernel.now_s, subsystem=subsystem,
+                    op=op, attempts=attempt,
+                )
+                reason = "deadline exceeded" if over_deadline else "attempts exhausted"
+                raise RetryExhaustedError(
+                    f"{op} failed after {attempt} attempt(s) ({reason}): {exc}",
+                    attempts=attempt,
+                    last_error=exc,
+                ) from exc
+            kernel.trace.emit(
+                "fault.retry", t_s=kernel.now_s, subsystem=subsystem,
+                op=op, attempt=attempt, delay_s=delay,
+            )
+            kernel.run_until(kernel.now_s + delay)
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            return result

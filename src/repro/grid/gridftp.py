@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from ..distro.filesystem import FileKind
 from ..distro.host import Host
 from ..errors import ReproError
+from ..faults.retry import RetryPolicy, call_with_retry
 from ..sim import SimKernel
 
 __all__ = ["GridError", "WanLink", "GridEndpoint", "TransferResult", "transfer"]
@@ -128,12 +129,19 @@ def transfer(
     corrupt_first_attempt: set[str] | None = None,
     max_retries: int = 2,
     kernel: SimKernel | None = None,
+    retry: RetryPolicy | None = None,
 ) -> TransferResult:
     """Move a file or directory tree between endpoints with verification.
 
     ``corrupt_first_attempt`` is failure injection: relative paths named
     there arrive corrupted once and must be caught by the checksum and
     retried.  Exceeding ``max_retries`` raises :class:`GridError`.
+
+    With ``retry`` (a :class:`~repro.faults.RetryPolicy`), per-file
+    retries back off with seeded jittered delays spent on the kernel,
+    publish ``fault.retry`` events, and exhaustion raises
+    :class:`~repro.errors.RetryExhaustedError` instead — ``max_retries``
+    is ignored in that mode.
     """
     link = link or WanLink()
     kernel = kernel if kernel is not None else SimKernel()
@@ -156,13 +164,13 @@ def transfer(
         want = src.checksum(from_path)
         nbytes = len(content.encode())
         attempts = 0
-        while True:
+
+        def fetch_once(
+            from_path=from_path, to_path=to_path, rel=rel,
+            content=content, want=want, nbytes=nbytes,
+        ) -> None:
+            nonlocal attempts
             attempts += 1
-            if attempts > max_retries + 1:
-                raise GridError(
-                    f"transfer of {rel} failed checksum after "
-                    f"{max_retries + 1} attempts"
-                )
             # Spend the modelled duration on the shared timeline: events
             # due inside the window (polls, job completions) fire first.
             kernel.run_until(
@@ -172,9 +180,26 @@ def transfer(
                 dst.write(to_path, content + "\x00CORRUPT")
             else:
                 dst.write(to_path, content)
-            if dst.checksum(to_path) == want:
-                break
-            result.retried_files.append(rel)
+            if dst.checksum(to_path) != want:
+                result.retried_files.append(rel)
+                raise GridError(f"transfer of {rel} failed checksum verification")
+
+        if retry is not None:
+            call_with_retry(
+                kernel, fetch_once, policy=retry, op=f"grid.xfer:{rel}",
+                subsystem="grid", retry_on=(GridError,),
+            )
+        else:
+            while True:
+                try:
+                    fetch_once()
+                    break
+                except GridError:
+                    if attempts > max_retries:
+                        raise GridError(
+                            f"transfer of {rel} failed checksum after "
+                            f"{max_retries + 1} attempts"
+                        ) from None
         result.files += 1
         result.bytes_moved += nbytes
         kernel.trace.emit(

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import ReproError
 from ..sim import PeriodicEvent, SimKernel
 from .gmond import Gmond
 from .metrics import CORE_METRICS, MonitoringError
@@ -28,7 +29,12 @@ __all__ = ["Gmetad", "ClusterSummary"]
 
 @dataclass(frozen=True)
 class ClusterSummary:
-    """One aggregated snapshot of the whole cluster."""
+    """One aggregated snapshot of the whole cluster.
+
+    ``hosts_dead`` counts hosts whose gmond has missed enough consecutive
+    heartbeats to be declared dead — the degraded-but-still-reporting
+    state a partially failed cluster settles into.
+    """
 
     timestamp_s: float
     hosts_total: int
@@ -38,6 +44,7 @@ class ClusterSummary:
     mem_total_kb: float
     mem_free_kb: float
     failed_services: int
+    hosts_dead: int = 0
 
     @property
     def hosts_down(self) -> int:
@@ -46,6 +53,11 @@ class ClusterSummary:
     @property
     def load_fraction(self) -> float:
         return self.load_total / self.total_cores if self.total_cores else 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """True when any host is down or declared dead."""
+        return self.hosts_down > 0 or self.hosts_dead > 0
 
 
 class Gmetad:
@@ -57,14 +69,20 @@ class Gmetad:
         *,
         poll_period_s: float = 15.0,
         kernel: SimKernel | None = None,
+        dead_after_misses: int = 3,
     ) -> None:
         if poll_period_s <= 0:
             raise MonitoringError("poll period must be positive")
+        if dead_after_misses < 1:
+            raise MonitoringError("dead_after_misses must be >= 1")
         self.cluster_name = cluster_name
         self.poll_period_s = poll_period_s
+        self.dead_after_misses = dead_after_misses
         self.kernel = kernel if kernel is not None else SimKernel()
         self._gmonds: dict[str, Gmond] = {}
         self._rrds: dict[tuple[str, str], Rrd] = {}
+        self._missed: dict[str, int] = {}
+        self._dead: set[str] = set()
         self._sampler: PeriodicEvent | None = None
         self.summaries: list[ClusterSummary] = []
 
@@ -82,6 +100,18 @@ class Gmetad:
 
     def hosts(self) -> list[str]:
         return sorted(self._gmonds)
+
+    def gmond_for(self, host: str) -> Gmond:
+        """The agent registered for one host (fault injection reaches it
+        here)."""
+        try:
+            return self._gmonds[host]
+        except KeyError:
+            raise MonitoringError(f"unknown host {host!r}") from None
+
+    def dead_hosts(self) -> list[str]:
+        """Hosts declared dead after consecutive missed heartbeats."""
+        return sorted(self._dead)
 
     def rrd_for(self, host: str, metric: str) -> Rrd:
         """The archive of one (host, metric) stream."""
@@ -105,7 +135,23 @@ class Gmetad:
         trace = self.kernel.trace
         for name in self.hosts():
             gmond = self._gmonds[name]
-            samples = {s.spec.name: s for s in gmond.poll(timestamp_s)}
+            try:
+                samples = {s.spec.name: s for s in gmond.poll(timestamp_s)}
+            except ReproError:
+                # An unresponsive gmond is a missed heartbeat, not a
+                # monitoring crash: degrade the summary, declare the host
+                # dead after enough consecutive misses.
+                missed = self._missed.get(name, 0) + 1
+                self._missed[name] = missed
+                if missed >= self.dead_after_misses and name not in self._dead:
+                    self._dead.add(name)
+                    trace.emit(
+                        "monitor.host_dead", t_s=timestamp_s,
+                        subsystem="monitoring", host=name, missed=missed,
+                    )
+                continue
+            self._missed[name] = 0
+            self._dead.discard(name)
             for metric, sample in samples.items():
                 self.rrd_for(name, metric).update(timestamp_s, sample.value)
                 trace.emit(
@@ -128,6 +174,7 @@ class Gmetad:
             mem_total_kb=mem_total,
             mem_free_kb=mem_free,
             failed_services=failed,
+            hosts_dead=len(self._dead),
         )
         self.summaries.append(summary)
         trace.emit(
@@ -180,14 +227,15 @@ class Gmetad:
             self._sampler = None
 
     def down_hosts(self) -> list[str]:
-        """Hosts whose latest powered_on sample is 0 (the web UI's red row)."""
-        down = []
+        """Hosts whose latest powered_on sample is 0, plus hosts declared
+        dead on missed heartbeats (the web UI's red rows)."""
+        down = set(self._dead)
         for name in self.hosts():
             rrd = self.rrd_for(name, "powered_on")
             latest = rrd.latest()
             if latest is not None and latest.value < 0.5:
-                down.append(name)
-        return down
+                down.add(name)
+        return sorted(down)
 
     def render_dashboard(self) -> str:
         """The web frontend's cluster page, as text."""
@@ -209,7 +257,12 @@ class Gmetad:
                 metric: self.rrd_for(name, metric).latest()
                 for metric in ("powered_on", "load_one", "cpu_num", "pkg_count", "svc_failed")
             }
-            up = "yes" if row["powered_on"] and row["powered_on"].value > 0.5 else "NO"
+            if name in self._dead:
+                up = "DEAD"
+            elif row["powered_on"] and row["powered_on"].value > 0.5:
+                up = "yes"
+            else:
+                up = "NO"
             lines.append(
                 f"{name:<18}{up:>4}"
                 f"{row['load_one'].value if row['load_one'] else 0:>8.1f}"

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..distro.host import Host
+from ..errors import NodeOfflineError
 from ..rpm.database import RpmDatabase
 from .metrics import CORE_METRICS, MetricSample, MonitoringError
 
@@ -25,6 +26,14 @@ class Gmond:
     ``load_source`` is an optional callable returning the host's busy-core
     count (wired to the scheduler by :class:`~repro.monitoring.gmetad.Gmetad`
     integrations or tests); without one, load reports 0.
+
+    ``responsive`` models the daemon itself: a crashed node or a
+    heartbeat-loss fault makes the gmond stop answering (``poll`` raises
+    :class:`~repro.errors.NodeOfflineError`), which gmetad degrades around
+    instead of crashing.  Note this is distinct from the *host* being
+    powered off — a live gmond on a powered-down chassis cannot happen,
+    but a reachable gmond can still report ``powered_on = 0`` for a node
+    mid-shutdown.
     """
 
     def __init__(
@@ -39,9 +48,18 @@ class Gmond:
         self.host = host
         self.db = db
         self.load_source = load_source
+        self.responsive = True
         #: counters accumulate across polls (bytes in/out)
         self._bytes_in = 0.0
         self._bytes_out = 0.0
+
+    def fail_heartbeat(self) -> None:
+        """Stop answering polls (crashed node / partitioned segment)."""
+        self.responsive = False
+
+    def restore_heartbeat(self) -> None:
+        """Start answering polls again."""
+        self.responsive = True
 
     def account_traffic(self, *, bytes_in: float = 0.0, bytes_out: float = 0.0) -> None:
         """Feed network counters (the fabric/MPI layers call this)."""
@@ -57,6 +75,10 @@ class Gmond:
 
     def poll(self, timestamp_s: float) -> list[MetricSample]:
         """Snapshot every core metric at ``timestamp_s``."""
+        if not self.responsive:
+            raise NodeOfflineError(
+                f"gmond on {self.host.name} is not responding"
+            )
         node = self.host.node
         busy = self._busy_cores()
         mem_total_kb = node.memory_bytes / 1024.0

@@ -114,13 +114,19 @@ class DhcpServer:
         try:
             return self._by_mac[mac]
         except KeyError:
-            raise DhcpError(f"no lease for MAC {mac}") from None
+            raise DhcpError(
+                f"no lease for MAC {mac} "
+                f"({len(self._by_mac)} active lease(s) on this segment)"
+            ) from None
 
     def release(self, mac: str) -> None:
         """Drop a lease (the address is NOT returned to the pool — matching
         dhcpd's conservative behaviour within a lease epoch)."""
         if mac not in self._by_mac:
-            raise DhcpError(f"no lease for MAC {mac}")
+            raise DhcpError(
+                f"no lease for MAC {mac} "
+                f"({len(self._by_mac)} active lease(s) on this segment)"
+            )
         del self._by_mac[mac]
 
     def leases(self) -> list[DhcpLease]:

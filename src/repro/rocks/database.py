@@ -21,6 +21,7 @@ class InstallState(str, Enum):
     DISCOVERED = "discovered"   # seen by insert-ethers, not yet installed
     INSTALLING = "installing"   # kickstart in progress
     INSTALLED = "os-installed"  # ready for jobs
+    FAILED = "install-failed"   # kickstart crashed; node needs attention
 
 
 @dataclass

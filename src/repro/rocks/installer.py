@@ -80,6 +80,17 @@ class ProvisionedCluster:
     def roll_names(self) -> list[str]:
         return sorted(self.rolls)
 
+    def failed_hosts(self) -> list[str]:
+        """Compute nodes whose kickstart crashed (state FAILED).
+
+        Feed these to ``ClusterResources(machine, exclude=...)`` so a
+        half-provisioned node never becomes schedulable capacity."""
+        return [
+            r.name
+            for r in self.rocksdb.compute_hosts()
+            if r.state is InstallState.FAILED
+        ]
+
 
 class RocksInstaller:
     """Drives one from-scratch installation."""
@@ -104,6 +115,14 @@ class RocksInstaller:
                 raise RocksError(f"roll {roll.name} selected twice")
             selected[roll.name] = roll
         self.rolls = selected
+        self._crash_macs: set[str] = set()
+
+    def inject_kickstart_crash(self, mac: str) -> None:
+        """The next kickstart of this MAC dies mid-install (lost power,
+        dead disk).  The install transaction aborts — nothing half-lands
+        on the node — and :meth:`run` either raises or, with
+        ``continue_on_error``, records the node as FAILED and moves on."""
+        self._crash_macs.add(mac)
 
     # -- validation ---------------------------------------------------------------
 
@@ -183,6 +202,15 @@ class RocksInstaller:
         txn = Transaction(db)
         for pkg in resolution.to_install:
             txn.install(pkg)
+        if host.node.mac_address in self._crash_macs:
+            # Injected mid-kickstart crash: the transaction never commits,
+            # so the node holds no packages — there is no half-installed
+            # state to reconcile, only a FAILED record.
+            self._crash_macs.discard(host.node.mac_address)
+            raise ProvisionError(
+                f"{host.hostname}: node lost power mid-kickstart; "
+                f"install transaction aborted"
+            )
         txn.commit()
         for service in graph.resolve_services(profile):
             host.services.enable(service)
@@ -196,8 +224,15 @@ class RocksInstaller:
 
     # -- the install ------------------------------------------------------------------
 
-    def run(self) -> ProvisionedCluster:
-        """Perform the full installation and return the live cluster."""
+    def run(self, *, continue_on_error: bool = False) -> ProvisionedCluster:
+        """Perform the full installation and return the live cluster.
+
+        With ``continue_on_error``, a compute node whose kickstart crashes
+        is recorded as :attr:`InstallState.FAILED`, powered off, and left
+        out of the cluster's compute map (and hence out of any scheduler
+        resources built from it); the install proceeds to the next node.
+        Without it, the first crash raises :class:`ProvisionError`.
+        """
         self._check_disks()
         graph = self._build_graph()
         distribution = self._build_distribution()
@@ -248,9 +283,17 @@ class RocksInstaller:
             rocksdb.set_state(record.name, InstallState.INSTALLING)
             compute_host = Host(node, self.release)
             compute_host.hostname = record.name
-            compute_db = self._kickstart_host(
-                compute_host, graph, distribution, Profile.COMPUTE
-            )
+            try:
+                compute_db = self._kickstart_host(
+                    compute_host, graph, distribution, Profile.COMPUTE
+                )
+            except ProvisionError:
+                if not continue_on_error:
+                    raise
+                rocksdb.set_state(record.name, InstallState.FAILED)
+                node.powered_on = False
+                pxe.clear_assignment(node.mac_address)
+                continue
             rocksdb.set_state(record.name, InstallState.INSTALLED)
             pxe.clear_assignment(node.mac_address)
             cluster.compute[record.name] = (compute_host, compute_db)

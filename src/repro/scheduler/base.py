@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import SchedulerError
+from ..errors import NodeOfflineError, SchedulerError
 from ..hardware.chassis import Machine
 from ..sim import EventHandle, SimKernel
 from .job import Allocation, Job, JobState
@@ -28,16 +28,38 @@ __all__ = ["ClusterResources", "BaseScheduler", "SchedulerStats"]
 
 
 class ClusterResources:
-    """Free-core accounting over a machine's nodes."""
+    """Free-core accounting over a machine's nodes.
 
-    def __init__(self, machine: Machine, *, use_head_for_jobs: bool = False):
+    Three orthogonal per-node flags matter to the allocator:
+
+    * **offline** — not allocatable right now (powered off, crashed, or a
+      completed drain); power management flips this;
+    * **failed** — crashed hardware: offline *and* not eligible for power
+      management to bring back until explicitly restored;
+    * **draining** — no new allocations, running work finishes; the
+      scheduler completes the drain (offline) when the node idles.
+
+    ``exclude`` drops nodes entirely (e.g. nodes whose provisioning
+    failed — they never become schedulable resources).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        use_head_for_jobs: bool = False,
+        exclude: set[str] | frozenset[str] = frozenset(),
+    ):
         # By XSEDE convention compute jobs stay off the frontend.
         nodes = machine.nodes if use_head_for_jobs else machine.compute_nodes
+        nodes = [n for n in nodes if n.name not in exclude]
         if not nodes:
             raise SchedulerError(f"{machine.name}: no compute nodes to schedule on")
         self._capacity: dict[str, int] = {n.name: n.cores for n in nodes}
         self._free: dict[str, int] = dict(self._capacity)
         self._offline: set[str] = set()
+        self._failed: set[str] = set()
+        self._draining: set[str] = set()
 
     @property
     def total_cores(self) -> int:
@@ -68,10 +90,24 @@ class ClusterResources:
         self.capacity_of(node)
         return 0 if node in self._offline else self._free[node]
 
+    @property
+    def usable_cores(self) -> int:
+        """Cores a job could ever be given: not failed, not draining.
+
+        Powered-off nodes count (power management can bring them back);
+        failed ones do not until :meth:`restore_node`.
+        """
+        return sum(
+            c
+            for n, c in self._capacity.items()
+            if n not in self._failed and n not in self._draining
+        )
+
     def set_offline(self, node: str, offline: bool) -> None:
         """Mark a node offline/online (power management uses this).
 
-        A node with allocated cores cannot go offline.
+        A node with allocated cores cannot go offline; a failed node
+        cannot come back online until :meth:`restore_node`.
         """
         self.capacity_of(node)
         if offline:
@@ -79,10 +115,58 @@ class ClusterResources:
                 raise SchedulerError(f"node {node} is busy; cannot take offline")
             self._offline.add(node)
         else:
+            if node in self._failed:
+                raise NodeOfflineError(
+                    f"node {node} has failed; restore it before bringing online"
+                )
             self._offline.discard(node)
 
     def is_offline(self, node: str) -> bool:
         return node in self._offline
+
+    def fail_node(self, node: str) -> None:
+        """Record a hardware failure: offline now, and power management
+        must not route to the node again until it is restored.
+
+        The caller (the scheduler) releases any allocations on the node
+        first — a failed node's cores are gone, not leaked.
+        """
+        self.capacity_of(node)
+        if self._free[node] != self._capacity[node]:
+            raise SchedulerError(
+                f"node {node} still holds allocations; requeue its jobs "
+                f"before marking it failed"
+            )
+        self._failed.add(node)
+        self._offline.add(node)
+        self._draining.discard(node)
+
+    def restore_node(self, node: str) -> None:
+        """Bring a failed (or offline/draining) node back into service."""
+        self.capacity_of(node)
+        self._failed.discard(node)
+        self._draining.discard(node)
+        self._offline.discard(node)
+
+    def is_failed(self, node: str) -> bool:
+        return node in self._failed
+
+    def failed_nodes(self) -> list[str]:
+        return sorted(self._failed)
+
+    def set_draining(self, node: str, draining: bool) -> None:
+        """Start/stop a drain: no new allocations, running work finishes."""
+        self.capacity_of(node)
+        if draining:
+            self._draining.add(node)
+        else:
+            self._draining.discard(node)
+
+    def is_draining(self, node: str) -> bool:
+        return node in self._draining
+
+    def draining_nodes(self) -> list[str]:
+        return sorted(self._draining)
 
     def try_allocate(self, cores: int) -> Allocation | None:
         """First-fit-decreasing allocation across online nodes, or None.
@@ -95,7 +179,13 @@ class ClusterResources:
         chunks: list[tuple[str, int]] = []
         remaining = cores
         candidates = sorted(
-            (n for n in self._capacity if n not in self._offline and self._free[n] > 0),
+            (
+                n
+                for n in self._capacity
+                if n not in self._offline
+                and n not in self._draining
+                and self._free[n] > 0
+            ),
             key=lambda n: (-self._free[n], n),
         )
         for node in candidates:
@@ -120,6 +210,11 @@ class ClusterResources:
                     f"> {self._capacity[node]}"
                 )
             self._free[node] += count
+
+    def is_idle(self, node: str) -> bool:
+        """True when no cores are allocated on the node (any flag state)."""
+        self.capacity_of(node)
+        return self._free[node] == self._capacity[node]
 
     def busy_nodes(self) -> list[str]:
         """Nodes with at least one allocated core."""
@@ -216,6 +311,13 @@ class BaseScheduler:
             "job.submit", t_s=self.now_s, subsystem="scheduler",
             job=job.name, user=job.user, cores=job.cores,
         )
+        if job.cores > self.resources.usable_cores:
+            # The cluster has degraded below this job's needs (failed or
+            # draining nodes): fail it now rather than let it starve —
+            # the same policy crash_node applies to already-queued work.
+            self._fail_unrunnable_pending(
+                reason="insufficient usable cores at submit"
+            )
         self._try_start_jobs()
         return job
 
@@ -230,6 +332,101 @@ class BaseScheduler:
             )
         else:
             raise SchedulerError(f"job {job.name} is not pending")
+
+    # -- degradation (node failure and maintenance) --------------------------------
+
+    def crash_node(self, node: str, *, reason: str = "node crash") -> list[Job]:
+        """A node died under running work: requeue its jobs, fail the node.
+
+        Torque/SLURM/SGE all requeue (re-runnable) jobs whose execution
+        host vanished; the semantics preserved here: every affected job
+        returns to PENDING with its original submit time (wait-time
+        accounting keeps charging the queue), its completion event is
+        cancelled, and the whole allocation — including chunks on
+        surviving nodes — is released.  Pending jobs that can no longer
+        ever fit the usable cores are failed rather than left to starve.
+        Returns the requeued jobs.
+        """
+        self.resources.capacity_of(node)
+        affected = [
+            j
+            for j in self.running
+            if j.allocation is not None and node in j.allocation.node_names
+        ]
+        for job in affected:
+            handle = self._completions.pop(job.job_id, None)
+            if handle is not None and handle.active:
+                self.kernel.cancel(handle)
+            self.running.remove(job)
+            assert job.allocation is not None
+            self.resources.release(job.allocation)
+            self._requeue(job, reason=reason)
+        self.resources.fail_node(node)
+        self._fail_unrunnable_pending(reason=f"{reason}: insufficient usable cores")
+        if self.on_idle_change is not None:
+            self.on_idle_change(self)
+        self._try_start_jobs()
+        return affected
+
+    def recover_node(self, node: str) -> None:
+        """A failed/offline node returned to service; resume scheduling."""
+        self.resources.restore_node(node)
+        if self.on_idle_change is not None:
+            self.on_idle_change(self)
+        self._try_start_jobs()
+
+    def drain_node(self, node: str, *, reason: str = "maintenance") -> None:
+        """pbsnodes -o / scontrol drain: stop routing work to the node.
+
+        Running jobs finish; the drain completes (node offline) as soon as
+        the node idles.
+        """
+        self.resources.set_draining(node, True)
+        self.kernel.trace.emit(
+            "node.drain", t_s=self.now_s, subsystem="scheduler",
+            node=node, reason=reason,
+        )
+        self._complete_drains()
+
+    def undrain_node(self, node: str) -> None:
+        """Cancel a drain (and bring a drained-offline node back)."""
+        if self.resources.is_failed(node):
+            raise NodeOfflineError(
+                f"node {node} has failed; recover it instead of undraining"
+            )
+        self.resources.set_draining(node, False)
+        if self.resources.is_offline(node):
+            self.resources.set_offline(node, False)
+        self._try_start_jobs()
+
+    def _requeue(self, job: Job, *, reason: str) -> None:
+        job.state = JobState.PENDING
+        job.allocation = None
+        job.start_time_s = None
+        job.end_time_s = None
+        self.pending.append(job)
+        self.kernel.trace.emit(
+            "job.requeue", t_s=self.now_s, subsystem="scheduler",
+            job=job.name, reason=reason,
+        )
+
+    def _fail_unrunnable_pending(self, *, reason: str) -> None:
+        """Fail pending jobs that no set of usable nodes can ever satisfy."""
+        usable = self.resources.usable_cores
+        for job in [j for j in self.pending if j.cores > usable]:
+            self.pending.remove(job)
+            job.state = JobState.FAILED
+            self.finished.append(job)
+            self.kernel.trace.emit(
+                "job.end", t_s=self.now_s, subsystem="scheduler",
+                job=job.name, state=job.state.value,
+            )
+
+    def _complete_drains(self) -> None:
+        """Take idle draining nodes offline (their drain is done)."""
+        for node in self.resources.draining_nodes():
+            if not self.resources.is_offline(node) and self.resources.is_idle(node):
+                self.resources.set_offline(node, True)
 
     # -- policy ------------------------------------------------------------------
 
@@ -283,6 +480,7 @@ class BaseScheduler:
             "job.end", t_s=self.now_s, subsystem="scheduler",
             job=job.name, state=job.state.value,
         )
+        self._complete_drains()
         if self.on_idle_change is not None:
             self.on_idle_change(self)
         self._try_start_jobs()
@@ -364,8 +562,11 @@ class BaseScheduler:
         real_jobs = [j for j in self.finished if j.state is not JobState.CANCELLED]
         for job in real_jobs:
             stats.job_count += 1
-            stats.total_wait_s += job.wait_time_s
-            stats.total_core_seconds += job.core_seconds
+            if job.start_time_s is not None:
+                # Jobs failed before ever starting (crashed capacity) have
+                # no wait or machine time to account.
+                stats.total_wait_s += job.wait_time_s
+                stats.total_core_seconds += job.core_seconds
             if job.state is JobState.COMPLETED:
                 stats.completed += 1
             else:

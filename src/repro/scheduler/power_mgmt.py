@@ -176,17 +176,21 @@ class PowerManagedScheduler(MauiScheduler):
     # -- power control -----------------------------------------------------------
 
     def _power_on_for_demand(self) -> None:
-        """Bring nodes online until pending demand fits (or none left)."""
+        """Bring nodes online until pending demand fits (or none left).
+
+        Failed nodes are never candidates: power management stops routing
+        to crashed hardware until :meth:`recover_node` restores it.
+        """
+
+        def powerable(n: str) -> bool:
+            return self.resources.is_offline(n) and not self.resources.is_failed(n)
+
         demand = sum(j.cores for j in self.pending)
         while (
             demand > self.resources.free_cores()
-            and any(self.resources.is_offline(n) for n in self.resources.node_names())
+            and any(powerable(n) for n in self.resources.node_names())
         ):
-            node = next(
-                n
-                for n in self.resources.node_names()
-                if self.resources.is_offline(n)
-            )
+            node = next(n for n in self.resources.node_names() if powerable(n))
             self._set_power(node, on=True)
             self._just_booted.add(node)
             self.energy.boot_events += 1
@@ -212,6 +216,28 @@ class PowerManagedScheduler(MauiScheduler):
             self.reschedule_completion(job)
             for node in booted:
                 self._just_booted.discard(node)
+
+    def crash_node(self, node: str, *, reason: str = "node crash"):
+        # Energy up to the crash instant is charged at the pre-crash state;
+        # from here the node draws nothing (offline in the integrator).
+        self._account_energy(self.now_s)
+        affected = super().crash_node(node, reason=reason)
+        hw = self._hw_by_name.get(node)
+        if hw is not None:
+            hw.powered_on = False
+        self._just_booted.discard(node)
+        return affected
+
+    def recover_node(self, node: str) -> None:
+        self._account_energy(self.now_s)
+        self.resources.restore_node(node)
+        if self.manage_power:
+            # Repaired nodes come back powered down; the next demand spike
+            # boots them through the normal path (paying the boot delay).
+            self._set_power(node, on=False)
+        if self.on_idle_change is not None:
+            self.on_idle_change(self)
+        self._try_start_jobs()
 
     def _in_blackout(self) -> bool:
         return (

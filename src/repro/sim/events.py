@@ -9,6 +9,12 @@ Cancellation is lazy: a cancelled handle stays in the heap and is skipped
 at pop time, the standard O(log n) trick that avoids heap surgery.
 :meth:`EventQueue.reschedule` is the first-class replacement for the "pull
 the tuple out and heapify" pattern this module retired.
+
+Lazy deletion must not turn into a leak: schedule/reschedule purge dead
+entries that have reached the heap top, and once dead entries outnumber
+live ones (past a small floor) the heap is compacted in O(n) — so heavy
+cancel/reschedule churn (the fault injector's access pattern) keeps the
+heap within a constant factor of the live event count.
 """
 
 from __future__ import annotations
@@ -49,6 +55,11 @@ class EventHandle:
         return f"EventHandle({self.label!r}, t={self.time_s}, seq={self.seq}, {state})"
 
 
+#: Dead entries tolerated before compaction kicks in (keeps tiny queues
+#: from compacting on every churn cycle).
+_COMPACT_FLOOR = 64
+
+
 class EventQueue:
     """The kernel's pending-event heap."""
 
@@ -61,6 +72,25 @@ class EventQueue:
         """Number of pending (non-cancelled) events."""
         return self._live
 
+    @property
+    def heap_size(self) -> int:
+        """Physical heap entries, live + not-yet-purged dead (leak probe)."""
+        return len(self._heap)
+
+    def compact(self) -> int:
+        """Drop every dead entry from the heap; returns how many went."""
+        dead = len(self._heap) - self._live
+        if dead:
+            self._heap = [h for h in self._heap if h.active]
+            heapq.heapify(self._heap)
+        return dead
+
+    def _maybe_compact(self) -> None:
+        self._prune()
+        dead = len(self._heap) - self._live
+        if dead > _COMPACT_FLOOR and dead > self._live:
+            self.compact()
+
     def schedule(
         self,
         time_s: float,
@@ -72,6 +102,7 @@ class EventQueue:
         time_s = float(time_s)
         if math.isnan(time_s) or math.isinf(time_s):
             raise SimulationError(f"cannot schedule an event at t={time_s}")
+        self._maybe_compact()
         handle = EventHandle(time_s, self._next_seq, callback, label)
         self._next_seq += 1
         heapq.heappush(self._heap, handle)

@@ -95,6 +95,12 @@ class SimKernel:
         """The current simulated time."""
         return self.clock.now_s
 
+    @property
+    def periodic_count(self) -> int:
+        """Active periodic series (drivers use this to detect quiescence:
+        once only periodic events remain, no one-shot work is pending)."""
+        return self._periodic_count
+
     def timeline(self, name: str, *, start_s: float | None = None) -> Timeline:
         """Create and register a per-entity :class:`Timeline`.
 

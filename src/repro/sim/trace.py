@@ -55,6 +55,15 @@ EVENT_SCHEMA: dict[str, dict[str, type]] = {
     # package mirror and grid data movement
     "mirror.sync": {"repo": str, "nbytes": int, "files": int, "skipped": bool},
     "grid.xfer": {"file": str, "nbytes": int, "retries": int},
+    # fault injection and recovery (repro.faults)
+    "fault.inject": {"fault": str, "target": str},
+    "fault.recover": {"fault": str, "target": str, "downtime_s": float},
+    "fault.retry": {"op": str, "attempt": int, "delay_s": float},
+    "fault.giveup": {"op": str, "attempts": int},
+    # graceful degradation
+    "job.requeue": {"job": str, "reason": str},
+    "node.drain": {"node": str, "reason": str},
+    "monitor.host_dead": {"host": str, "missed": int},
 }
 
 

@@ -10,13 +10,21 @@ kernel clock by the modelled duration (firing any co-simulated events due
 inside the window) and publishes a ``mirror.sync`` trace event.  Pass a
 shared :class:`~repro.sim.SimKernel` to interleave mirror traffic with the
 rest of the cluster; without one the mirror keeps its own.
+
+Faults are first-class: an interrupted sync (flaky WAN, full disk) leaves
+the packages fetched so far in place, so the retried sync *resumes* —
+only the remaining delta is transferred.  Corrupted payloads are caught by
+per-package checksum verification and re-fetched within the same sync.
+Give the mirror a :class:`~repro.faults.RetryPolicy` and :meth:`sync`
+retries interruptions with seeded backoff instead of surfacing them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import YumError
+from ..errors import FaultError, YumError
+from ..faults.retry import RetryPolicy, call_with_retry
 from ..rpm.package import Package
 from ..sim import SimKernel
 from .repository import Repository
@@ -44,6 +52,7 @@ class SyncStats:
 
     fetched_nevras: list[str] = field(default_factory=list)
     removed_nevras: list[str] = field(default_factory=list)
+    refetched_nevras: list[str] = field(default_factory=list)
     bytes_transferred: int = 0
     elapsed_s: float = 0.0
     skipped: bool = False  # metadata matched; nothing to do
@@ -59,10 +68,12 @@ class RepoMirror:
         *,
         repo_id: str = "",
         kernel: SimKernel | None = None,
+        retry: RetryPolicy | None = None,
     ):
         self.upstream = upstream
         self.link = link
         self.kernel = kernel if kernel is not None else SimKernel()
+        self.retry = retry
         self.local = Repository(
             repo_id or f"{upstream.repo_id}-mirror",
             name=f"{upstream.name} (local mirror)",
@@ -70,6 +81,42 @@ class RepoMirror:
         )
         self._synced_checksum: str | None = None
         self.sync_history: list[SyncStats] = []
+        # -- fault-injection state (set by FaultInjector or tests) ---------
+        self._interruptions_pending = 0
+        self._loss_probability = 0.0
+        self._disk_full = False
+        self._corrupt_once: set[str] = set()
+
+    # -- fault injection hooks -------------------------------------------------
+
+    def inject_interruptions(self, count: int) -> None:
+        """Fail the next ``count`` sync attempts mid-transfer (resumable)."""
+        if count < 0:
+            raise YumError(f"interruption count must be non-negative, got {count}")
+        self._interruptions_pending = count
+
+    def set_loss_probability(self, probability: float) -> None:
+        """Flapping WAN: each sync attempt dies with this probability
+        (drawn from the kernel RNG, so runs stay deterministic)."""
+        if not 0 <= probability <= 1:
+            raise YumError(f"loss probability must be in [0, 1], got {probability}")
+        self._loss_probability = probability
+
+    def set_disk_full(self, full: bool) -> None:
+        """A full mirror volume fails every sync until space is freed."""
+        self._disk_full = full
+
+    def corrupt_next(self, nevras: set[str] | None = None) -> None:
+        """The named NEVRAs (default: everything still to fetch) arrive
+        corrupted once and must be caught by checksum and re-fetched."""
+        if nevras is None:
+            local = {p.nevra for p in self.local.all_packages()}
+            nevras = {
+                p.nevra for p in self.upstream.all_packages() if p.nevra not in local
+            }
+        self._corrupt_once |= set(nevras)
+
+    # -- sync ----------------------------------------------------------------
 
     def _spend(self, seconds: float) -> None:
         """Advance shared simulated time by a modelled transfer duration."""
@@ -81,12 +128,33 @@ class RepoMirror:
         return self._synced_checksum == self.upstream.repomd_checksum()
 
     def sync(self) -> SyncStats:
-        """Bring the mirror up to date, transferring only the delta."""
+        """Bring the mirror up to date, transferring only the delta.
+
+        With a :class:`RetryPolicy` configured, interrupted transfers are
+        retried with backoff; each retry resumes from what already landed
+        (the delta recomputes against the partially filled mirror).
+        """
+        if self.retry is None:
+            return self._sync_once()
+        return call_with_retry(
+            self.kernel,
+            self._sync_once,
+            policy=self.retry,
+            op=f"mirror.sync:{self.local.repo_id}",
+            subsystem="yum",
+            retry_on=(YumError, FaultError),
+        )
+
+    def _sync_once(self) -> SyncStats:
         stats = SyncStats()
         started_s = self.kernel.now_s
         upstream_sum = self.upstream.repomd_checksum()
         # Metadata probe always costs one round trip.
         self._spend(self.link.transfer_time_s(16 * 1024))
+        if self._disk_full:
+            raise YumError(
+                f"mirror {self.local.repo_id}: disk full, cannot stage packages"
+            )
         if self._synced_checksum == upstream_sum:
             stats.skipped = True
             stats.elapsed_s = self.kernel.now_s - started_s
@@ -112,11 +180,43 @@ class RepoMirror:
         for nevra in to_remove:
             self.local.remove(nevra)
             stats.removed_nevras.append(nevra)
-        for pkg in to_fetch:
+
+        interrupted = self._interruptions_pending > 0 or (
+            self._loss_probability > 0
+            and self.kernel.rng.random() < self._loss_probability
+        )
+        if self._interruptions_pending > 0:
+            self._interruptions_pending -= 1
+        cutoff = len(to_fetch) // 2 if interrupted else len(to_fetch)
+
+        for index, pkg in enumerate(to_fetch):
+            if interrupted and index >= cutoff:
+                # The connection died mid-transfer.  Everything fetched so
+                # far stays on disk — the retry resumes from here.
+                if stats.bytes_transferred:
+                    self._spend(
+                        self.link.transfer_time_s(
+                            stats.bytes_transferred, requests=max(1, cutoff)
+                        )
+                    )
+                stats.elapsed_s = self.kernel.now_s - started_s
+                self.sync_history.append(stats)
+                raise YumError(
+                    f"mirror {self.local.repo_id}: sync interrupted after "
+                    f"{len(stats.fetched_nevras)}/{len(to_fetch)} package(s); "
+                    f"partial state kept for resume"
+                )
             self.local.add(pkg)
             stats.fetched_nevras.append(pkg.nevra)
             stats.bytes_transferred += pkg.size_bytes
-        if to_fetch:
+            if pkg.nevra in self._corrupt_once:
+                # Payload checksum mismatch: drop and fetch again (costing
+                # the extra bytes) — yum's "[Errno -1] Package does not
+                # match intended download" path.
+                self._corrupt_once.discard(pkg.nevra)
+                stats.refetched_nevras.append(pkg.nevra)
+                stats.bytes_transferred += pkg.size_bytes
+        if to_fetch and cutoff > 0:
             self._spend(
                 self.link.transfer_time_s(
                     stats.bytes_transferred, requests=len(to_fetch)
