@@ -1,0 +1,88 @@
+"""Checkpoint/restore and write-ahead-journal overhead measurements.
+
+Recovery machinery is only free to adopt if its steady-state cost is
+negligible; this bench quantifies three numbers for one seeded chaos run:
+
+* **capture cost** — wall time and serialized size of a full-stack
+  snapshot (kernel + scheduler + monitoring + mirror + journal);
+* **restore cost** — rebuilding the world and replaying to the
+  checkpoint, verified against the state digest and trace-prefix hash;
+* **journal overhead** — an RPM transaction hot path committed with and
+  without write-ahead journaling.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.distro import CENTOS_6_5, Host
+from repro.faults.chaos import ChaosWorld
+from repro.hardware import build_littlefe_modified
+from repro.recovery import CheckpointManager, Journal, Snapshot
+from repro.rpm import Package, RpmDatabase, Transaction
+
+SEED = 11
+CUT_STEPS = 150
+TXN_ROUNDS = 40
+TXN_PKGS = 25
+
+
+def capture_and_restore():
+    world = ChaosWorld({"seed": SEED, "job_count": 8})
+    for _ in range(CUT_STEPS):
+        world.step()
+    manager = CheckpointManager(world)
+
+    t0 = time.perf_counter()
+    snapshot = manager.capture()
+    blob = snapshot.to_json()
+    capture_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    restored = CheckpointManager.restore(Snapshot.from_json(blob))
+    restore_s = time.perf_counter() - t0
+
+    restored.run()
+    world.run()
+    assert restored.kernel.trace.to_jsonl() == world.kernel.trace.to_jsonl()
+    return capture_s, restore_s, len(blob.encode()), snapshot
+
+
+def txn_hot_path(journal):
+    host = Host(build_littlefe_modified().machine.head, CENTOS_6_5)
+    db = RpmDatabase(host)
+    t0 = time.perf_counter()
+    for round_no in range(TXN_ROUNDS):
+        txn = Transaction(db, journal=journal)
+        for index in range(TXN_PKGS):
+            txn.install(Package(name=f"p{round_no:02d}x{index:02d}",
+                                version="1.0"))
+        txn.commit()
+    return time.perf_counter() - t0
+
+
+def test_checkpoint_restore_bench(benchmark, save_artifact):
+    capture_s, restore_s, size_bytes, snapshot = benchmark(capture_and_restore)
+
+    bare_s = txn_hot_path(None)                 # Transaction makes a throwaway
+    waled_s = txn_hot_path(Journal())           # shared in-memory WAL
+    overhead = (waled_s - bare_s) / bare_s if bare_s > 0 else 0.0
+
+    lines = [
+        "Checkpoint/restore + write-ahead journal overhead "
+        f"(chaos seed={SEED}, cut at step {CUT_STEPS})",
+        "",
+        f"{'snapshot capture':<28}{capture_s * 1e3:>10.2f} ms",
+        f"{'snapshot size':<28}{size_bytes / 1024:>10.1f} KiB",
+        f"{'verified replay restore':<28}{restore_s * 1e3:>10.2f} ms",
+        f"{'events at checkpoint':<28}{snapshot.events_processed:>10d}",
+        "",
+        f"rpm hot path ({TXN_ROUNDS} txns x {TXN_PKGS} pkgs):",
+        f"{'  without journal':<28}{bare_s * 1e3:>10.2f} ms",
+        f"{'  with shared WAL journal':<28}{waled_s * 1e3:>10.2f} ms",
+        f"{'  overhead':<28}{overhead:>10.1%}",
+    ]
+    save_artifact("checkpoint_restore", "\n".join(lines))
+
+    assert size_bytes > 1024          # the snapshot really holds the stack
+    assert snapshot.steps == CUT_STEPS

@@ -13,7 +13,7 @@ from __future__ import annotations
 from .diagnostic import Severity
 from .registry import rule
 
-__all__ = ["TX701", "TX702", "TX703", "TX704", "TX705", "TX706"]
+__all__ = ["TX701", "TX702", "TX703", "TX704", "TX705", "TX706", "TX707"]
 
 TX701 = rule(
     "TX701",
@@ -56,4 +56,11 @@ TX706 = rule(
     Severity.ERROR,
     "two packages in the final set declare a conflict",
     "erase one side or pick non-conflicting versions",
+)
+TX707 = rule(
+    "TX707",
+    "transaction",
+    Severity.ERROR,
+    "the write-ahead journal holds an unresolved transaction for this host",
+    "run repro.rpm.transaction.recover_transaction before committing",
 )

@@ -41,6 +41,10 @@ __all__ = [
     "FaultError",
     "RetryExhaustedError",
     "NodeOfflineError",
+    "HeadnodeCrashError",
+    "RecoveryError",
+    "JournalError",
+    "CheckpointError",
     "SchedulerError",
     "JobError",
     "LinpackError",
@@ -217,6 +221,33 @@ class RetryExhaustedError(FaultError):
 
 class NodeOfflineError(FaultError):
     """An operation was routed to a node that is crashed, drained, or off."""
+
+
+class HeadnodeCrashError(FaultError):
+    """The simulated frontend died without warning.
+
+    This exception is control flow, not an error report: it models the
+    process dying, so nothing may catch it to "handle" the failure —
+    retry loops and transaction rollback handlers must let it propagate
+    (a crashed head node cannot run its own cleanup).  Recovery happens
+    out-of-band through :mod:`repro.recovery` (checkpoint restore plus
+    journal replay/rollback).
+    """
+
+
+# --- crash recovery (repro.recovery) ---------------------------------------------
+
+
+class RecoveryError(FaultError):
+    """Base class for checkpoint/journal/supervisor machinery errors."""
+
+
+class JournalError(RecoveryError):
+    """Invalid write-ahead-journal operation (closed txn, unknown op, ...)."""
+
+
+class CheckpointError(RecoveryError):
+    """A snapshot could not be captured, loaded, or verified on restore."""
 
 
 # --- scheduler ----------------------------------------------------------------

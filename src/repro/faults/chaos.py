@@ -1,9 +1,10 @@
 """The chaos harness: replay a fault plan against a whole cluster stack.
 
-One call builds a machine (LittleFe or Limulus), a Maui scheduler, a
-Ganglia monitoring mesh, and an XSEDE repo mirror on a single seeded
-kernel; schedules a deterministic workload and the plan's faults as
-kernel events; runs everything to quiescence; and then audits an
+One :class:`ChaosWorld` builds a machine (LittleFe or Limulus), a Maui
+scheduler, a Ganglia monitoring mesh, an XSEDE repo mirror, and a
+self-healing supervisor on a single seeded kernel; schedules a
+deterministic workload and the plan's faults as kernel events; runs
+everything to quiescence one ``step()`` at a time; and then audits an
 invariant set instead of trusting that "it didn't crash" means "it
 worked":
 
@@ -15,7 +16,15 @@ worked":
 * **trace integrity** — the JSONL validates against the event schema with
   strictly increasing sequence numbers;
 * **monitoring confluence** — permanently crashed nodes are on gmetad's
-  dead list by the end of the run.
+  dead list by the end of the run (nodes the supervisor repaired are
+  exempt: they came back, so staying off the dead list is correct).
+
+The world implements the checkpointable protocol of
+:mod:`repro.recovery.checkpoint` — ``world_name`` / ``config`` /
+``steps`` / ``step()`` / ``state_dict()`` / ``kernel`` — so a run can be
+snapshotted at any driver-step boundary and resumed byte-identically
+after a :class:`~repro.errors.HeadnodeCrashError` (the
+``headnode.crash`` fault) kills the original process.
 
 Determinism (same seed ⇒ byte-identical JSONL) is checked by the CLI
 (``python -m repro.faults --check-determinism``) by running the whole
@@ -25,13 +34,17 @@ harness twice.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from ..distro.distribution import CENTOS_6_5
 from ..distro.host import Host
-from ..errors import FaultError, RetryExhaustedError
+from ..errors import FaultError, HeadnodeCrashError, RetryExhaustedError
 from ..hardware.builder import build_limulus_hpc200, build_littlefe_modified
 from ..monitoring.gmetad import Gmetad
 from ..monitoring.gmond import Gmond
+from ..recovery.checkpoint import register_world_factory
+from ..recovery.journal import Journal
+from ..recovery.supervisor import Supervisor
 from ..rpm.package import Package
 from ..scheduler.base import ClusterResources
 from ..scheduler.job import Job, JobState
@@ -43,7 +56,14 @@ from .inject import FaultInjector
 from .plan import FaultKind, FaultPlan, FaultSpec
 from .retry import RetryPolicy
 
-__all__ = ["ChaosReport", "ChaosRun", "run_chaos", "demo_plan", "CLUSTERS"]
+__all__ = [
+    "ChaosReport",
+    "ChaosRun",
+    "ChaosWorld",
+    "run_chaos",
+    "demo_plan",
+    "CLUSTERS",
+]
 
 #: Machines the harness can build, by name.
 CLUSTERS = {
@@ -67,6 +87,7 @@ class ChaosReport:
     faults_recovered: int = 0
     retries: int = 0
     giveups: int = 0
+    repairs: int = 0
     dead_hosts: list[str] = field(default_factory=list)
     mirror_sync_ok: bool | None = None
     violations: list[str] = field(default_factory=list)
@@ -82,6 +103,7 @@ class ChaosReport:
             f"faults: {self.faults_injected} injected, "
             f"{self.faults_recovered} recovered; "
             f"{self.retries} retry(ies), {self.giveups} giveup(s)",
+            f"supervisor: {self.repairs} repair(s)",
             f"monitoring: dead hosts {self.dead_hosts or 'none'}",
         ]
         if self.mirror_sync_ok is not None:
@@ -108,6 +130,9 @@ class ChaosRun:
     injector: FaultInjector
     report: ChaosReport
     jsonl: str
+    world: "ChaosWorld | None" = None
+    supervisor: Supervisor | None = None
+    journal: Journal | None = None
 
 
 def demo_plan(machine) -> FaultPlan:
@@ -156,7 +181,7 @@ def _build_workload(kernel: SimKernel, machine, count: int) -> list[tuple[float,
     return jobs
 
 
-def _build_mirror(kernel: SimKernel) -> RepoMirror:
+def _build_mirror(kernel: SimKernel, journal: Journal) -> RepoMirror:
     upstream = Repository("xsede", name="XSEDE campus bridging", priority=20)
     for index in range(12):
         upstream.add(
@@ -171,19 +196,247 @@ def _build_mirror(kernel: SimKernel) -> RepoMirror:
         repo_id="xsede-mirror",
         kernel=kernel,
         retry=RetryPolicy(max_attempts=5, base_delay_s=5.0, max_delay_s=120.0),
+        journal=journal,
     )
 
 
-def _drain(kernel: SimKernel) -> None:
-    """Fire events until only periodic series (the sampler) remain."""
-    fired = 0
-    while len(kernel.queue) > kernel.periodic_count:
-        kernel.step()
-        fired += 1
-        if fired > _MAX_EVENTS:
+class ChaosWorld:
+    """The whole chaos stack as one steppable, checkpointable world.
+
+    ``config`` is a plain-JSON dict (it travels inside snapshots):
+
+    * ``plan`` — a :meth:`FaultPlan.to_dict` dict, or None for the demo;
+    * ``seed`` / ``cluster`` / ``job_count`` / ``with_mirror`` — as in
+      :func:`run_chaos`;
+    * ``supervise`` — wire in the self-healing supervisor (default True);
+    * ``crash_armed`` — whether ``headnode.crash`` faults actually raise
+      (True) or fire as silent no-ops (False).  The spec stays in the
+      plan either way, so both runs schedule the identical event
+      sequence — that parity is what makes the crashed run's trace a
+      byte prefix of the uncrashed one.
+
+    Driver steps are the checkpoint boundaries: each :meth:`step` fires
+    exactly one kernel event (or one wind-down poll / phase transition),
+    so ``steps`` is an unambiguous resume position even though nested
+    ``run_until`` calls make ``events_processed`` grow faster.
+    """
+
+    world_name = "chaos"
+
+    _DEFAULTS: dict[str, Any] = {
+        "plan": None,
+        "seed": 0,
+        "cluster": "littlefe",
+        "job_count": 12,
+        "with_mirror": True,
+        "supervise": True,
+        "crash_armed": True,
+    }
+
+    def __init__(self, config: Mapping[str, Any] | None = None) -> None:
+        merged = dict(self._DEFAULTS)
+        merged.update(config or {})
+        unknown = sorted(set(merged) - set(self._DEFAULTS))
+        if unknown:
+            raise FaultError(f"unknown chaos config key(s): {unknown}")
+        self.config: dict[str, Any] = merged
+        self.steps = 0
+        self.phase = "main"
+        self._winddown_left = 0
+
+        try:
+            self.machine = CLUSTERS[merged["cluster"]]()
+        except KeyError:
+            known = ", ".join(sorted(CLUSTERS))
+            raise FaultError(
+                f"unknown cluster {merged['cluster']!r} (known: {known})"
+            ) from None
+
+        kernel = SimKernel(seed=int(merged["seed"]))
+        self.kernel = kernel
+        self.journal = Journal()
+        self.scheduler = MauiScheduler(ClusterResources(self.machine), kernel=kernel)
+        self.gmetad = Gmetad(self.machine.name, poll_period_s=15.0, kernel=kernel)
+        scheduler = self.scheduler
+        for node in self.machine.nodes:
+            host = Host(node, CENTOS_6_5, diskless_image=node.diskless)
+
+            def load_for(node_name=node.name):
+                total = 0
+                for job in scheduler.running:
+                    if job.allocation is None:
+                        continue
+                    for name, cores in job.allocation.by_node:
+                        if name == node_name:
+                            total += cores
+                return total
+
+            self.gmetad.attach(Gmond(host, load_source=load_for))
+
+        self.mirror = (
+            _build_mirror(kernel, self.journal) if merged["with_mirror"] else None
+        )
+        self.mirror_outcome: bool | None = None
+
+        if merged["plan"] is None:
+            self.plan = demo_plan(self.machine)
+        else:
+            self.plan = FaultPlan.from_dict(merged["plan"])
+        self.injector = FaultInjector(
+            kernel,
+            scheduler=self.scheduler,
+            machine=self.machine,
+            gmetad=self.gmetad,
+            mirrors=(self.mirror,) if self.mirror is not None else (),
+            pxe=None,
+            crash_armed=bool(merged["crash_armed"]),
+        )
+        self.injector.apply(self.plan)
+
+        self.supervisor: Supervisor | None = None
+        if merged["supervise"]:
+            self.supervisor = Supervisor(
+                kernel,
+                scheduler=self.scheduler,
+                gmetad=self.gmetad,
+                machine=self.machine,
+                power_probe=self._power_ok,
+            )
+            self.supervisor.start()
+
+        workload = _build_workload(kernel, self.machine, int(merged["job_count"]))
+        self.all_jobs = [job for _t, job in workload]
+        for submit_s, job in workload:
+            kernel.at(submit_s, lambda job=job: scheduler.submit(job),
+                      label=f"chaos.submit:{job.name}")
+
+        if self.mirror is not None:
+            mirror = self.mirror
+
+            def sync_mirror() -> None:
+                try:
+                    mirror.sync()
+                    self.mirror_outcome = True
+                except HeadnodeCrashError:
+                    raise  # the frontend died mid-sync; nothing may absorb it
+                except (RetryExhaustedError, FaultError):
+                    # Degraded, not dead: the mirror stays stale and the run
+                    # continues — exactly the behaviour the paper's admins need.
+                    self.mirror_outcome = False
+
+            kernel.at(20.0, sync_mirror, label="chaos.mirror_sync")
+
+        self.sampler = self.gmetad.start_sampling()
+
+    def _power_ok(self, node: str) -> bool:
+        """Supervisor power probe: a live PSU fault means reboots are futile."""
+        for record in self.injector.history:
+            if (
+                record.spec.kind is FaultKind.PSU_FAIL
+                and record.spec.target == node
+                and record.active
+            ):
+                return False
+        return True
+
+    # -- the drive loop ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance one driver step; False once the run is finished.
+
+        Phases: **main** fires kernel events until only periodic series
+        (sampler + supervisor sweep) remain; **winddown** runs enough
+        extra poll cycles for the heartbeat detector to declare
+        permanently dead nodes; **drain** cancels the periodics and fires
+        any stragglers; then **done**.
+        """
+        if self.phase == "done":
+            return False
+        self.steps += 1
+        if self.kernel.events_processed > _MAX_EVENTS:
             raise FaultError(
                 f"chaos run exceeded {_MAX_EVENTS} events; runaway schedule?"
             )
+        if self.phase == "main":
+            if len(self.kernel.queue) > self.kernel.periodic_count:
+                self.kernel.step()
+            else:
+                self.phase = "winddown"
+                self._winddown_left = max(2, self.gmetad.dead_after_misses + 1)
+            return True
+        if self.phase == "winddown":
+            if self._winddown_left > 0:
+                self.gmetad.poll_cycle()
+                self._winddown_left -= 1
+            else:
+                self.sampler.cancel()
+                if self.supervisor is not None:
+                    self.supervisor.stop()
+                self.phase = "drain"
+            return True
+        # drain: anything still live after the periodics were cancelled
+        if len(self.kernel.queue) > 0:
+            self.kernel.step()
+            return True
+        self.phase = "done"
+        return False
+
+    def run(self) -> None:
+        """Step to completion (no checkpointing)."""
+        while self.step():
+            pass
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """The whole stack, declaratively, for checkpoint digests."""
+        return {
+            "phase": self.phase,
+            "steps": self.steps,
+            "winddown_left": self._winddown_left,
+            "kernel": self.kernel.state_dict(),
+            "scheduler": self.scheduler.state_dict(),
+            "gmetad": self.gmetad.state_dict(),
+            "mirror": None if self.mirror is None else self.mirror.state_dict(),
+            "mirror_outcome": self.mirror_outcome,
+            "journal": self.journal.state_dict(),
+            "supervisor": (
+                None if self.supervisor is None else self.supervisor.state_dict()
+            ),
+            "hardware": {
+                node.name: node.powered_on for node in self.machine.nodes
+            },
+            "faults": [
+                {
+                    "kind": record.spec.kind.value,
+                    "target": record.spec.target,
+                    "at_s": record.injected_at_s,
+                    "recovered_at_s": record.recovered_at_s,
+                }
+                for record in self.injector.history
+            ],
+            "jobs": [job.state_dict() for job in self.all_jobs],
+        }
+
+    # -- reporting ---------------------------------------------------------------
+
+    def audit(self) -> ChaosReport:
+        return _audit(
+            self.kernel, self.scheduler, self.gmetad, self.injector,
+            self.all_jobs, self.mirror_outcome, self.supervisor, self.journal,
+        )
+
+    def result(self) -> ChaosRun:
+        """Audit and bundle (call once the run is done)."""
+        return ChaosRun(
+            kernel=self.kernel, scheduler=self.scheduler, gmetad=self.gmetad,
+            mirror=self.mirror, injector=self.injector, report=self.audit(),
+            jsonl=self.kernel.trace.to_jsonl(), world=self,
+            supervisor=self.supervisor, journal=self.journal,
+        )
+
+
+register_world_factory("chaos", ChaosWorld)
 
 
 def run_chaos(
@@ -193,80 +446,21 @@ def run_chaos(
     cluster: str = "littlefe",
     job_count: int = 12,
     with_mirror: bool = True,
+    supervise: bool = True,
 ) -> ChaosRun:
     """Build the stack, apply the plan, run to quiescence, audit."""
-    try:
-        machine = CLUSTERS[cluster]()
-    except KeyError:
-        known = ", ".join(sorted(CLUSTERS))
-        raise FaultError(f"unknown cluster {cluster!r} (known: {known})") from None
-
-    kernel = SimKernel(seed=seed)
-    scheduler = MauiScheduler(ClusterResources(machine), kernel=kernel)
-    gmetad = Gmetad(machine.name, poll_period_s=15.0, kernel=kernel)
-    for node in machine.nodes:
-        host = Host(node, CENTOS_6_5, diskless_image=node.diskless)
-
-        def load_for(node_name=node.name):
-            total = 0
-            for job in scheduler.running:
-                if job.allocation is None:
-                    continue
-                for name, cores in job.allocation.by_node:
-                    if name == node_name:
-                        total += cores
-            return total
-
-        gmetad.attach(Gmond(host, load_source=load_for))
-
-    mirror = _build_mirror(kernel) if with_mirror else None
-    mirror_outcome: bool | None = None
-
-    if plan is None:
-        plan = demo_plan(machine)
-    injector = FaultInjector(
-        kernel,
-        scheduler=scheduler,
-        machine=machine,
-        gmetad=gmetad,
-        mirrors=(mirror,) if mirror is not None else (),
-        pxe=None,
+    world = ChaosWorld(
+        {
+            "plan": None if plan is None else plan.to_dict(),
+            "seed": seed,
+            "cluster": cluster,
+            "job_count": job_count,
+            "with_mirror": with_mirror,
+            "supervise": supervise,
+        }
     )
-    injector.apply(plan)
-
-    workload = _build_workload(kernel, machine, job_count)
-    all_jobs = [job for _t, job in workload]
-    for submit_s, job in workload:
-        kernel.at(submit_s, lambda job=job: scheduler.submit(job),
-                  label=f"chaos.submit:{job.name}")
-
-    if mirror is not None:
-        def sync_mirror() -> None:
-            nonlocal mirror_outcome
-            try:
-                mirror.sync()
-                mirror_outcome = True
-            except (RetryExhaustedError, FaultError):
-                # Degraded, not dead: the mirror stays stale and the run
-                # continues — exactly the behaviour the paper's admins need.
-                mirror_outcome = False
-
-        kernel.at(20.0, sync_mirror, label="chaos.mirror_sync")
-
-    sampler = gmetad.start_sampling()
-    _drain(kernel)
-    # Wind-down: enough polling periods for the heartbeat detector to
-    # declare permanently dead nodes, then stop sampling.
-    for _ in range(max(2, gmetad.dead_after_misses + 1)):
-        gmetad.poll_cycle()
-    sampler.cancel()
-    _drain(kernel)
-
-    report = _audit(kernel, scheduler, gmetad, injector, all_jobs, mirror_outcome)
-    return ChaosRun(
-        kernel=kernel, scheduler=scheduler, gmetad=gmetad, mirror=mirror,
-        injector=injector, report=report, jsonl=kernel.trace.to_jsonl(),
-    )
+    world.run()
+    return world.result()
 
 
 def _audit(
@@ -276,6 +470,8 @@ def _audit(
     injector: FaultInjector,
     jobs: list[Job],
     mirror_outcome: bool | None,
+    supervisor: Supervisor | None = None,
+    journal: Journal | None = None,
 ) -> ChaosReport:
     trace = kernel.trace
     report = ChaosReport(
@@ -287,6 +483,7 @@ def _audit(
         faults_recovered=trace.count("fault.recover"),
         retries=trace.count("fault.retry"),
         giveups=trace.count("fault.giveup"),
+        repairs=0 if supervisor is None else len(supervisor.repairs),
         dead_hosts=gmetad.dead_hosts(),
         mirror_sync_ok=mirror_outcome,
     )
@@ -328,13 +525,25 @@ def _audit(
     for problem in problems:
         report.violations.append(f"trace: {problem}")
 
-    # 5. monitoring confluence: permanently crashed nodes are on the dead list
+    # 5. journal convergence: no transaction may end half-done — every
+    #    begun transaction committed, aborted, rolled back, or replayed
+    if journal is not None:
+        for txn in journal.open_txns():
+            report.violations.append(
+                f"journal transaction {txn.txn_id} ({txn.kind}) still open "
+                f"after the run"
+            )
+
+    # 6. monitoring confluence: permanently crashed nodes are on the dead
+    #    list — unless the supervisor brought them back, in which case
+    #    staying alive is the correct outcome
     dead = set(gmetad.dead_hosts())
+    repaired = supervisor.repaired_nodes if supervisor is not None else set()
     for record in injector.history:
         if record.spec.kind in (FaultKind.NODE_CRASH, FaultKind.PSU_FAIL):
-            if record.active and record.spec.target not in dead:
+            target = record.spec.target
+            if record.active and target not in dead and target not in repaired:
                 report.violations.append(
-                    f"crashed node {record.spec.target} never declared dead "
-                    f"by gmetad"
+                    f"crashed node {target} never declared dead by gmetad"
                 )
     return report

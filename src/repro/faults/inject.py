@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import FaultError
+from ..errors import FaultError, HeadnodeCrashError
 from .plan import FaultKind, FaultPlan, FaultSpec
 
 __all__ = ["FaultInjector", "ActiveFault"]
@@ -51,6 +51,7 @@ class FaultInjector:
         gmetad=None,
         mirrors=(),
         pxe=None,
+        crash_armed: bool = True,
     ) -> None:
         self.kernel = kernel
         self.scheduler = scheduler
@@ -58,6 +59,12 @@ class FaultInjector:
         self.gmetad = gmetad
         self.mirrors = {m.local.repo_id: m for m in mirrors}
         self.pxe = pxe
+        #: Whether a scheduled HEADNODE_CRASH actually kills the run.  The
+        #: spec stays in the plan either way (so armed and disarmed runs
+        #: schedule identical event sequences and stay byte-diffable); a
+        #: resumed run restores with the crash disarmed so it fires as a
+        #: silent no-op the second time through.
+        self.crash_armed = crash_armed
         self.history: list[ActiveFault] = []
         self._handlers = {
             FaultKind.NODE_CRASH: (self._crash_node, self._recover_node),
@@ -67,6 +74,7 @@ class FaultInjector:
             FaultKind.BOOT_TIMEOUT: (self._boot_timeouts, None),
             FaultKind.MIRROR_CORRUPT: (self._corrupt_mirror, None),
             FaultKind.HEARTBEAT_LOSS: (self._lose_heartbeat, self._restore_heartbeat),
+            FaultKind.HEADNODE_CRASH: (self._crash_headnode, None),
         }
 
     # -- wiring helpers ---------------------------------------------------------
@@ -163,6 +171,12 @@ class FaultInjector:
         gmetad = self._need("gmetad", spec)
         gmetad.gmond_for(spec.target).restore_heartbeat()
 
+    def _crash_headnode(self, spec: FaultSpec) -> None:
+        # Disarmed: silent no-op.  The armed path never reaches here — it
+        # raises from the inject closure *before* fault.inject is emitted
+        # (a dying frontend writes no log line).
+        pass
+
     # -- application -------------------------------------------------------------
 
     def apply(self, plan: FaultPlan) -> list[ActiveFault]:
@@ -182,6 +196,15 @@ class FaultInjector:
         self.history.append(record)
 
         def inject() -> None:
+            if spec.kind is FaultKind.HEADNODE_CRASH and self.crash_armed:
+                # The frontend dies NOW: no trace event, no recovery event,
+                # no cleanup.  This exception must propagate out of the
+                # whole run loop untouched — recovery happens out-of-band
+                # from the last checkpoint plus the write-ahead journal.
+                raise HeadnodeCrashError(
+                    f"head node crashed at t={self.kernel.now_s:.0f}s "
+                    f"(fault {spec.kind.value}@{spec.target})"
+                )
             self.kernel.trace.emit(
                 "fault.inject", t_s=self.kernel.now_s, subsystem="faults",
                 fault=spec.kind.value, target=spec.target,

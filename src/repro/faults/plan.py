@@ -43,11 +43,16 @@ class FaultKind(str, Enum):
     BOOT_TIMEOUT = "boot.timeout"      # PXE/DHCP handshake times out N times
     MIRROR_CORRUPT = "mirror.corrupt"  # payloads arrive corrupted once
     HEARTBEAT_LOSS = "heartbeat.loss"  # gmond stops answering gmetad
+    HEADNODE_CRASH = "headnode.crash"  # the frontend dies: the run itself stops
 
 
 #: Kinds whose effect ends on its own (count-based) — scheduling a
-#: recovery for them is a plan error.
-_ONE_SHOT_KINDS = frozenset({FaultKind.BOOT_TIMEOUT, FaultKind.MIRROR_CORRUPT})
+#: recovery for them is a plan error.  HEADNODE_CRASH is one-shot too:
+#: nothing inside a dead process can schedule its own recovery; the run
+#: resumes out-of-band from a checkpoint (repro.recovery).
+_ONE_SHOT_KINDS = frozenset(
+    {FaultKind.BOOT_TIMEOUT, FaultKind.MIRROR_CORRUPT, FaultKind.HEADNODE_CRASH}
+)
 
 
 @dataclass(frozen=True)

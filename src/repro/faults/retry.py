@@ -22,7 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
-from ..errors import FaultError, ReproError, RetryExhaustedError
+from ..errors import FaultError, HeadnodeCrashError, ReproError, RetryExhaustedError
 
 __all__ = ["RetryPolicy", "CircuitBreaker", "call_with_retry"]
 
@@ -158,6 +158,12 @@ def call_with_retry(
         attempt += 1
         try:
             result = fn()
+        except HeadnodeCrashError:
+            # A head-node crash is control flow, not a transient failure:
+            # the machine running this retry loop just died, so no retry,
+            # no backoff, no giveup event — the exception must unwind the
+            # whole run untouched (recovery is checkpoint + journal).
+            raise
         except retry_on as exc:
             if breaker is not None:
                 breaker.record_failure(kernel.now_s)

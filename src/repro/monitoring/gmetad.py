@@ -183,6 +183,24 @@ class Gmetad:
         )
         return summary
 
+    def state_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot of the monitoring mesh state."""
+        return {
+            "cluster": self.cluster_name,
+            "gmonds": {
+                name: self._gmonds[name].state_dict() for name in self.hosts()
+            },
+            "rrds": {
+                f"{host}/{metric}": rrd.state_dict()
+                for (host, metric), rrd in sorted(self._rrds.items())
+            },
+            "missed": {
+                k: v for k, v in sorted(self._missed.items()) if v
+            },
+            "dead": sorted(self._dead),
+            "summaries": len(self.summaries),
+        }
+
     def poll_cycle(self) -> ClusterSummary:
         """One polling period: advance a period, pull, archive, summarise.
 

@@ -68,6 +68,16 @@ class Gmond:
         self._bytes_in += bytes_in
         self._bytes_out += bytes_out
 
+    def state_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot of the agent (checkpoint participation)."""
+        return {
+            "host": self.host.name,
+            "responsive": self.responsive,
+            "powered_on": self.host.node.powered_on,
+            "bytes_in": self._bytes_in,
+            "bytes_out": self._bytes_out,
+        }
+
     def _busy_cores(self) -> float:
         if self.load_source is None:
             return 0.0

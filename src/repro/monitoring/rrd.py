@@ -106,3 +106,16 @@ class Rrd:
 
     def __len__(self) -> int:
         return sum(1 for entry in self._ring if entry is not None)
+
+    def state_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot of the ring (checkpoint participation).
+
+        ``last_time`` uses None for the never-updated sentinel (-inf is
+        not representable in strict JSON).
+        """
+        return {
+            "step_s": self.step_s,
+            "slots": self.slots,
+            "ring": [list(e) if e is not None else None for e in self._ring],
+            "last_time": None if math.isinf(self._last_time) else self._last_time,
+        }

@@ -1,0 +1,149 @@
+"""The checkpoint manager: capture at step boundaries, restore by replay.
+
+A *world* is any object exposing the small checkpointable protocol:
+
+* ``world_name`` — registry key of a factory that can rebuild it;
+* ``config`` — JSON-friendly constructor arguments for that factory;
+* ``steps`` — top-level driver steps taken so far;
+* ``step()`` — advance one driver step, returning False at quiescence;
+* ``state_dict()`` — full declarative state tree;
+* ``kernel`` — its :class:`~repro.sim.SimKernel`.
+
+:meth:`CheckpointManager.capture` snapshots between steps (never inside
+one — nested ``run_until`` calls make intra-step positions ambiguous);
+:meth:`CheckpointManager.restore` rebuilds the world from config via the
+registered factory, replays exactly ``snapshot.steps`` steps, and
+verifies both the state digest and the trace-prefix hash before handing
+the world back.  Checkpointing is trace-silent on purpose: emitting a
+``checkpoint`` event would make a checkpointed run's bytes diverge from
+an uncheckpointed one, destroying the byte-diff this machinery exists to
+pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable
+
+from ..errors import CheckpointError
+from .snapshot import Snapshot, diff_states, state_digest
+
+__all__ = [
+    "register_world_factory",
+    "world_factories",
+    "CheckpointManager",
+]
+
+_FACTORIES: dict[str, Callable[[dict[str, Any]], Any]] = {}
+
+
+def register_world_factory(
+    name: str, factory: Callable[[dict[str, Any]], Any]
+) -> None:
+    """Register a rebuild-from-config callable under a world name.
+
+    Re-registering a name overwrites (worlds live in modules that may be
+    reimported); the factory receives the snapshot's ``config`` dict.
+    """
+    _FACTORIES[name] = factory
+
+
+def world_factories() -> list[str]:
+    """Registered world names (for error messages and tooling)."""
+    return sorted(_FACTORIES)
+
+
+def _trace_sha(kernel) -> str:
+    return hashlib.sha256(kernel.trace.to_jsonl().encode()).hexdigest()
+
+
+class CheckpointManager:
+    """Capture/restore driver for one world."""
+
+    def __init__(self, world, *, every: int | None = None) -> None:
+        if every is not None and every < 1:
+            raise CheckpointError(f"checkpoint interval must be >= 1, got {every}")
+        self.world = world
+        self.every = every
+        self.snapshots: list[Snapshot] = []
+
+    @property
+    def latest(self) -> Snapshot | None:
+        return self.snapshots[-1] if self.snapshots else None
+
+    def capture(self, *, label: str = "") -> Snapshot:
+        """Snapshot the world as it stands (call between driver steps)."""
+        world = self.world
+        state = world.state_dict()
+        jsonl = world.kernel.trace.to_jsonl()
+        snapshot = Snapshot(
+            world=world.world_name,
+            steps=world.steps,
+            now_s=world.kernel.now_s,
+            events_processed=world.kernel.events_processed,
+            config=dict(world.config),
+            state=state,
+            trace_len=len(world.kernel.trace),
+            trace_sha256=hashlib.sha256(jsonl.encode()).hexdigest(),
+            digest=state_digest(state),
+            label=label or f"step-{world.steps}",
+        )
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    def maybe_capture(self) -> Snapshot | None:
+        """Capture if the world just crossed the ``every`` interval."""
+        if self.every is None or self.world.steps % self.every != 0:
+            return None
+        return self.capture()
+
+    @staticmethod
+    def restore(snapshot: Snapshot, **config_overrides: Any):
+        """Rebuild a world and replay it to the snapshot, verified.
+
+        ``config_overrides`` patch the rebuild configuration — the resume
+        path uses ``crash_armed=False`` so the fault that killed the
+        original run fires as a silent no-op the second time through.
+        Overrides must not change pre-checkpoint behaviour; the digest
+        check catches it if they do.
+
+        Raises :class:`~repro.errors.CheckpointError` if the replayed
+        world's state digest or trace-prefix hash differs from the
+        snapshot — a failed restore never hands back a silently-wrong
+        world.
+        """
+        snapshot.verify()
+        try:
+            factory = _FACTORIES[snapshot.world]
+        except KeyError:
+            known = ", ".join(world_factories()) or "none"
+            raise CheckpointError(
+                f"no world factory registered for {snapshot.world!r} "
+                f"(known: {known})"
+            ) from None
+        config = {**snapshot.config, **config_overrides}
+        world = factory(config)
+        for _ in range(snapshot.steps):
+            if not world.step():
+                raise CheckpointError(
+                    f"replay hit quiescence at step {world.steps} before "
+                    f"reaching checkpoint step {snapshot.steps} — config "
+                    f"mismatch or non-deterministic world"
+                )
+        state = world.state_dict()
+        digest = state_digest(state)
+        if digest != snapshot.digest:
+            diffs = diff_states(snapshot.state, state)
+            detail = "; ".join(diffs) if diffs else "(no structural diff found)"
+            raise CheckpointError(
+                f"restore verification failed at step {snapshot.steps}: "
+                f"replayed state digest {digest[:12]} != snapshot "
+                f"{snapshot.digest[:12]}; diverged at: {detail}"
+            )
+        if _trace_sha(world.kernel) != snapshot.trace_sha256:
+            raise CheckpointError(
+                f"restore verification failed at step {snapshot.steps}: "
+                f"replayed trace prefix differs from the original run's "
+                f"({len(world.kernel.trace)} vs {snapshot.trace_len} events)"
+            )
+        return world

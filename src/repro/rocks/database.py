@@ -91,6 +91,23 @@ class RocksDatabase:
     def set_state(self, name: str, state: InstallState) -> None:
         self.get(name).state = state
 
+    def state_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot of the hosts table (checkpointing)."""
+        return {
+            "hosts": [
+                {
+                    "name": r.name,
+                    "mac": r.mac,
+                    "ip": r.ip,
+                    "appliance": r.appliance,
+                    "rack": r.rack,
+                    "rank": r.rank,
+                    "state": r.state.value,
+                }
+                for r in self.hosts()
+            ]
+        }
+
     def next_compute_name(self, rack: int) -> str:
         """The compute-<rack>-<rank> naming Rocks uses."""
         ranks = [

@@ -33,7 +33,12 @@ from .kickstart import GraphNode, KickstartGraph, Profile
 from .roll import Roll
 from .rolls_catalog import all_standard_rolls, base_os_packages, base_roll
 
-__all__ = ["ProvisionedCluster", "RocksInstaller", "install_cluster"]
+__all__ = [
+    "ProvisionedCluster",
+    "RocksInstaller",
+    "install_cluster",
+    "recover_install",
+]
 
 
 @dataclass
@@ -102,6 +107,7 @@ class RocksInstaller:
         rolls: list[Roll] | None = None,
         scheduler: str = "torque",
         release: DistroRelease = CENTOS_6_5,
+        journal=None,
     ) -> None:
         standard = all_standard_rolls()
         if scheduler not in ("torque", "slurm", "sge"):
@@ -115,6 +121,12 @@ class RocksInstaller:
                 raise RocksError(f"roll {roll.name} selected twice")
             selected[roll.name] = roll
         self.rolls = selected
+        #: optional write-ahead :class:`~repro.recovery.Journal`: each
+        #: compute node's discovery + kickstart becomes a ``rocks.install``
+        #: transaction, so a frontend crash mid-provision leaves an open
+        #: entry instead of a silently half-registered host —
+        #: :func:`recover_install` rolls the phantom record back.
+        self.journal = journal
         self._crash_macs: set[str] = set()
 
     def inject_kickstart_crash(self, mac: str) -> None:
@@ -278,25 +290,55 @@ class RocksInstaller:
         )
 
         # 3. Power compute nodes on one at a time under insert-ethers.
+        # Each node is one journaled transaction: register (the database
+        # row insert-ethers writes) then install.  A frontend crash leaves
+        # the transaction open and recover_install() removes the
+        # half-registered row; a *node*-side kickstart crash is a clean
+        # abort (the FAILED record is deliberate state, not a phantom).
         for node in self.machine.compute_nodes:
+            txn = (
+                self.journal.begin("rocks.install", mac=node.mac_address)
+                if self.journal is not None
+                else None
+            )
             record = inserter.discover_boot(node.mac_address)
+            if txn is not None:
+                reg_op = self.journal.intent(
+                    txn, "register", name=record.name, mac=node.mac_address
+                )
+                self.journal.applied(txn, reg_op)
             rocksdb.set_state(record.name, InstallState.INSTALLING)
             compute_host = Host(node, self.release)
             compute_host.hostname = record.name
+            install_op = (
+                self.journal.intent(txn, "install", name=record.name)
+                if txn is not None
+                else None
+            )
             try:
                 compute_db = self._kickstart_host(
                     compute_host, graph, distribution, Profile.COMPUTE
                 )
             except ProvisionError:
                 if not continue_on_error:
+                    if txn is not None:
+                        self.journal.abort(txn, note="kickstart failed")
                     raise
                 rocksdb.set_state(record.name, InstallState.FAILED)
                 node.powered_on = False
                 pxe.clear_assignment(node.mac_address)
+                if txn is not None:
+                    self.journal.abort(
+                        txn, note="kickstart failed; node recorded FAILED"
+                    )
                 continue
             rocksdb.set_state(record.name, InstallState.INSTALLED)
             pxe.clear_assignment(node.mac_address)
             cluster.compute[record.name] = (compute_host, compute_db)
+            if txn is not None:
+                assert install_op is not None
+                self.journal.applied(txn, install_op)
+                self.journal.commit(txn)
         return cluster
 
     def replace_node(
@@ -355,6 +397,37 @@ class RocksInstaller:
         cluster.compute[name] = (host, db)
         cluster.rocksdb.set_state(name, InstallState.INSTALLED)
         return host
+
+
+def recover_install(journal, rocksdb: RocksDatabase) -> list:
+    """Resolve open ``rocks.install`` journal transactions after a crash.
+
+    A frontend that died between registering a node (insert-ethers wrote
+    the database row) and finishing its kickstart leaves the row pointing
+    at a node with no OS — a half-registered host that would poison every
+    tool reading the hosts table.  Recovery removes those rows in strict
+    reverse order; the node re-registers cleanly on the next insert-ethers
+    run.  Returns the transactions rolled back.
+    """
+    from ..recovery.journal import OpState
+
+    resolved = []
+    for txn in journal.open_txns("rocks.install"):
+        for op in reversed(txn.ops):
+            if op.state is OpState.UNDONE:
+                continue
+            if op.op == "register":
+                name = op.payload["name"]
+                try:
+                    rocksdb.get(name)
+                except RocksError:
+                    pass  # row never landed; nothing to remove
+                else:
+                    rocksdb.remove_host(name)
+            journal.undone(txn, op)
+        journal.rolled_back(txn)
+        resolved.append(txn)
+    return resolved
 
 
 def install_cluster(

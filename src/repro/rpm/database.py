@@ -124,6 +124,13 @@ class RpmDatabase:
                     break
         return sorted(dependants, key=lambda p: p.name)
 
+    def state_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot of the installed set (checkpointing)."""
+        return {
+            "host": self.host.name,
+            "installed": sorted(p.nevra for p in self._by_name.values()),
+        }
+
     # -- primitive mutations (used by the transaction layer) ---------------------
 
     def _install_unchecked(self, pkg: Package) -> None:

@@ -18,6 +18,17 @@ Rules enforced by :meth:`Transaction.check`:
 :meth:`Transaction.commit` orders installs topologically (dependencies
 first; dependency cycles are co-installed in name order) and rolls back on
 any mid-commit failure.
+
+Commits are **write-ahead journaled**: every primitive operation records
+its intent in a :class:`~repro.recovery.journal.Journal` before the DB is
+touched and is marked applied after, so rollback walks the journal's
+applied prefix in strict reverse order (not an ad-hoc done-list) and a
+head-node crash mid-commit leaves an open journal transaction that
+:func:`recover_transaction` resolves afterwards — no phantom packages.
+Without an explicit journal, commit uses a private in-memory one (same
+rollback path, no durability).  A :class:`~repro.errors.HeadnodeCrashError`
+raised mid-commit is *not* rolled back: the process just died; cleanup is
+recovery's job, not the corpse's.
 """
 
 from __future__ import annotations
@@ -26,11 +37,18 @@ from dataclasses import dataclass, field
 
 from ..analyze.diagnostic import Diagnostic, Severity
 from ..analyze import txn as _txn_rules  # noqa: F401 - registers TX7xx rules
-from ..errors import ConflictError, DependencyError, TransactionError
+from ..errors import (
+    ConflictError,
+    DependencyError,
+    HeadnodeCrashError,
+    JournalError,
+    TransactionError,
+)
+from ..recovery.journal import Journal, JournalTxn, OpState
 from .database import RpmDatabase
 from .package import Package, Requirement
 
-__all__ = ["Transaction", "TransactionResult"]
+__all__ = ["Transaction", "TransactionResult", "recover_transaction"]
 
 
 @dataclass
@@ -63,9 +81,19 @@ class TransactionResult:
 class Transaction:
     """One pending transaction against a host's RPM database."""
 
-    def __init__(self, db: RpmDatabase, *, allow_downgrade: bool = False) -> None:
+    def __init__(
+        self,
+        db: RpmDatabase,
+        *,
+        allow_downgrade: bool = False,
+        journal: Journal | None = None,
+    ) -> None:
         self.db = db
         self.allow_downgrade = allow_downgrade
+        #: write-ahead journal commits record through; None means each
+        #: commit journals into a private in-memory one (rollback still
+        #: walks the journal, but nothing survives the process).
+        self.journal = journal
         self._installs: dict[str, Package] = {}
         self._erases: set[str] = set()
 
@@ -125,6 +153,16 @@ class Transaction:
             )
 
         problems: list[Diagnostic] = []
+        if self.journal is not None:
+            for open_txn in self.journal.open_txns("rpm.txn"):
+                if open_txn.meta.get("host") == self.db.host.name:
+                    problems.append(problem(
+                        "TX707",
+                        f"journal transaction {open_txn.txn_id} for host "
+                        f"{self.db.host.name} is still open (crashed "
+                        f"mid-commit?); recover it before committing",
+                        f"transaction:journal/{open_txn.txn_id}",
+                    ))
         host_arch = self.db.host.arch
         for name, pkg in sorted(self._installs.items()):
             if pkg.arch not in ("noarch", host_arch):
@@ -264,8 +302,6 @@ class Transaction:
 
         result = TransactionResult()
         upgrades_old: dict[str, Package] = {}
-        done_erases: list[Package] = []
-        done_installs: list[Package] = []
         # Detect cross-package file conflicts before touching anything:
         # paths an incoming package will write that are currently owned by a
         # package that is neither being erased nor the same name.
@@ -283,32 +319,100 @@ class Transaction:
                         result.file_conflicts.append(
                             f"{path} ({owner} -> {pkg.name})"
                         )
+        journal = self.journal if self.journal is not None else Journal()
+        txn = journal.begin("rpm.txn", host=self.db.host.name)
         try:
             for name in sorted(self._erases):
-                old = self.db._erase_unchecked(name)
-                done_erases.append(old)
+                old = self.db.get(name)
+                op = journal.intent(
+                    txn, "erase", name=name, nevra=old.nevra, obj=old
+                )
+                self.db._erase_unchecked(name)
+                journal.applied(txn, op)
                 if name in self._installs:
                     upgrades_old[name] = old
                 else:
                     result.erased.append(old)
             for pkg in self._install_order():
+                op = journal.intent(
+                    txn, "install", name=pkg.name, nevra=pkg.nevra, obj=pkg
+                )
                 self.db._install_unchecked(pkg)
-                done_installs.append(pkg)
+                journal.applied(txn, op)
                 if pkg.name in upgrades_old:
                     result.upgraded.append((upgrades_old[pkg.name], pkg))
                 else:
                     result.installed.append(pkg)
+        except HeadnodeCrashError:
+            # The process died mid-commit.  A corpse runs no cleanup: the
+            # journal transaction stays OPEN (that IS the crash record) and
+            # recover_transaction() heals the phantom state afterwards.
+            raise
         except Exception as exc:
-            # Roll back in reverse order.
-            for pkg in reversed(done_installs):
-                try:
-                    self.db._erase_unchecked(pkg.name)
-                except Exception:  # pragma: no cover - rollback best effort
-                    pass
-            for old in reversed(done_erases):
-                try:
-                    self.db._install_unchecked(old)
-                except Exception:  # pragma: no cover
-                    pass
-            raise TransactionError(f"transaction failed and was rolled back: {exc}") from exc
+            # Strict reverse order through the journal's applied prefix —
+            # the journal, not an ad-hoc done-list, is the rollback truth.
+            for op in reversed(txn.applied_ops()):
+                _undo_op(self.db, op)
+                journal.undone(txn, op)
+            journal.rolled_back(txn)
+            raise TransactionError(
+                f"transaction failed and was rolled back: {exc}"
+            ) from exc
+        journal.commit(txn)
         return result
+
+
+def _undo_op(db: RpmDatabase, op) -> None:
+    """Reverse one journaled primitive (best effort, like rpm's own undo)."""
+    try:
+        if op.op == "install":
+            name = op.payload["name"]
+            if db.has(name) and db.get(name).nevra == op.payload["nevra"]:
+                db._erase_unchecked(name)
+        elif op.op == "erase":
+            name = op.payload["name"]
+            if not db.has(name):
+                pkg = op.obj
+                if pkg is None:
+                    raise JournalError(
+                        f"cannot undo erase of {op.payload['nevra']}: no "
+                        f"in-process package handle (journal loaded from "
+                        f"disk? pass a package source to recover_transaction)"
+                    )
+                db._install_unchecked(pkg)
+        else:
+            raise JournalError(f"unknown rpm journal op {op.op!r}")
+    except JournalError:
+        raise
+    except Exception:  # pragma: no cover - rollback best effort
+        pass
+
+
+def recover_transaction(
+    journal: Journal, db: RpmDatabase, *, packages=None
+) -> list[JournalTxn]:
+    """Resolve every open ``rpm.txn`` journal transaction for ``db``'s host.
+
+    The post-crash entry point: each open transaction's operations are
+    forced to not-happened in strict reverse order.  APPLIED ops are
+    undone; INTENT ops (the crash landed between intent and apply) are
+    checked against the DB and undone if the mutation half-landed — either
+    way the DB ends with no phantom packages and the journal records the
+    resolution.  ``packages`` optionally maps nevra -> Package for undoing
+    erases when the journal was reloaded from disk (no object handles).
+    Returns the transactions that were rolled back.
+    """
+    resolved = []
+    for txn in journal.open_txns("rpm.txn"):
+        if txn.meta.get("host") != db.host.name:
+            continue
+        for op in reversed(txn.ops):
+            if op.state is OpState.UNDONE:
+                continue
+            if op.obj is None and packages is not None and op.op == "erase":
+                op.obj = packages.get(op.payload["nevra"])
+            _undo_op(db, op)
+            journal.undone(txn, op)
+        journal.rolled_back(txn)
+        resolved.append(txn)
+    return resolved

@@ -232,6 +232,16 @@ class ClusterResources:
             if n not in self._offline and self._free[n] == self._capacity[n]
         )
 
+    def state_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot of all per-node accounting and flags."""
+        return {
+            "capacity": dict(sorted(self._capacity.items())),
+            "free": dict(sorted(self._free.items())),
+            "offline": sorted(self._offline),
+            "failed": sorted(self._failed),
+            "draining": sorted(self._draining),
+        }
+
 
 @dataclass
 class SchedulerStats:
@@ -399,6 +409,38 @@ class BaseScheduler:
             self.resources.set_offline(node, False)
         self._try_start_jobs()
 
+    def resubmit(self, job: Job) -> Job:
+        """Give a FAILED-in-queue job another chance (supervisor API).
+
+        Only jobs that never started qualify — they were failed because
+        the degraded cluster could not hold them, not because they ran
+        badly; once capacity returns the supervisor routes them back in.
+        The job re-enters the queue as a fresh submission at the current
+        time (its wait-time clock restarts — the old wait was charged to
+        the failure, not the queue).
+        """
+        if job not in self.finished or job.state is not JobState.FAILED:
+            raise SchedulerError(
+                f"job {job.name} is not a failed finished job; cannot resubmit"
+            )
+        if job.start_time_s is not None:
+            raise SchedulerError(
+                f"job {job.name} already ran and failed; resubmit only "
+                f"re-queues jobs that never started"
+            )
+        self.finished.remove(job)
+        job.state = JobState.PENDING
+        job.allocation = None
+        job.end_time_s = None
+        job.submit_time_s = self.now_s
+        self.pending.append(job)
+        self.kernel.trace.emit(
+            "job.submit", t_s=self.now_s, subsystem="scheduler",
+            job=job.name, user=job.user, cores=job.cores,
+        )
+        self._try_start_jobs()
+        return job
+
     def _requeue(self, job: Job, *, reason: str) -> None:
         job.state = JobState.PENDING
         job.allocation = None
@@ -534,6 +576,26 @@ class BaseScheduler:
                         self.on_job_start(job)
                     progress = True
                     break
+
+    def state_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot of queues, allocations, and node flags.
+
+        Pending completion events are captured as ``{job name: end time}``
+        (their callbacks are closures the replayed world rebuilds itself).
+        """
+        completions = {}
+        for job in self.running:
+            handle = self._completions.get(job.job_id)
+            if handle is not None and handle.active:
+                completions[job.name] = handle.time_s
+        return {
+            "resources": self.resources.state_dict(),
+            "pending": [j.state_dict() for j in self.pending],
+            "running": [j.state_dict() for j in self.running],
+            "finished": [j.state_dict() for j in self.finished],
+            "completions": dict(sorted(completions.items())),
+            "completions_fired": self._completions_fired,
+        }
 
     def step(self) -> bool:
         """Advance to the next job completion; returns False when idle.

@@ -84,6 +84,28 @@ class Job:
         """Machine time consumed (cores x charged runtime)."""
         return self.cores * self.charged_runtime_s
 
+    def state_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot of the job (checkpoint participation).
+
+        ``job_id`` is deliberately excluded: it comes from a process-global
+        serial, so two identically-replayed worlds assign different ids —
+        names are the stable identity everywhere that matters (traces,
+        allocations, snapshots).
+        """
+        return {
+            "name": self.name,
+            "user": self.user,
+            "cores": self.cores,
+            "walltime_limit_s": self.walltime_limit_s,
+            "runtime_s": self.runtime_s,
+            "priority": self.priority,
+            "state": self.state.value,
+            "submit_time_s": self.submit_time_s,
+            "start_time_s": self.start_time_s,
+            "end_time_s": self.end_time_s,
+            "allocation": str(self.allocation) if self.allocation else None,
+        }
+
 
 @dataclass(frozen=True)
 class Allocation:

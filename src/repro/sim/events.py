@@ -73,6 +73,22 @@ class EventQueue:
         return self._live
 
     @property
+    def next_seq(self) -> int:
+        """The serial the next scheduled event will take (snapshot probe)."""
+        return self._next_seq
+
+    def snapshot_entries(self) -> list[tuple[float, int, str]]:
+        """Live entries as ``(time_s, seq, label)``, heap-order-free.
+
+        Callbacks are closures and cannot be serialized — this is the
+        declarative shadow of the queue that checkpoints digest to verify
+        a replayed run rebuilt the exact same pending-event set.
+        """
+        return sorted(
+            (h.time_s, h.seq, h.label) for h in self._heap if h.active
+        )
+
+    @property
     def heap_size(self) -> int:
         """Physical heap entries, live + not-yet-purged dead (leak probe)."""
         return len(self._heap)

@@ -122,6 +122,34 @@ class SimKernel:
         """All registered timelines (registration order)."""
         return list(self._timelines.values())
 
+    def state_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot of kernel state (checkpoint participation).
+
+        Event callbacks are closures and cannot leave the process; the
+        queue is captured as its declarative ``(time, seq, label)`` shadow
+        plus the next submission serial.  Together with the RNG state and
+        clock this pins the kernel's behaviour exactly: a replayed run
+        that reaches the same ``state_dict`` will fire the same events at
+        the same times in the same order from here on.
+        """
+        rng_state = self.rng.getstate()
+        return {
+            "seed": self.seed,
+            "now_s": self.now_s,
+            "events_processed": self.events_processed,
+            # random.Random.getstate() -> (version, tuple-of-ints, gauss);
+            # listify for JSON round-tripping.
+            "rng": [rng_state[0], list(rng_state[1]), rng_state[2]],
+            "queue": {
+                "next_seq": self.queue.next_seq,
+                "entries": [list(e) for e in self.queue.snapshot_entries()],
+            },
+            "periodic_count": self._periodic_count,
+            "timelines": {
+                name: tl.now_s for name, tl in self._timelines.items()
+            },
+        }
+
     # -- scheduling --------------------------------------------------------------
 
     def at(

@@ -64,6 +64,12 @@ EVENT_SCHEMA: dict[str, dict[str, type]] = {
     "job.requeue": {"job": str, "reason": str},
     "node.drain": {"node": str, "reason": str},
     "monitor.host_dead": {"host": str, "missed": int},
+    # self-healing supervisor (repro.recovery)
+    "recover.node": {"node": str, "attempt": int},
+    "recover.gmond": {"host": str},
+    "recover.undrain": {"node": str},
+    "recover.resubmit": {"job": str, "attempt": int},
+    "recover.reinstall": {"node": str, "attempt": int, "ok": bool},
 }
 
 

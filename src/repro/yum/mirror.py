@@ -69,11 +69,18 @@ class RepoMirror:
         repo_id: str = "",
         kernel: SimKernel | None = None,
         retry: RetryPolicy | None = None,
+        journal=None,
     ):
         self.upstream = upstream
         self.link = link
         self.kernel = kernel if kernel is not None else SimKernel()
         self.retry = retry
+        #: optional write-ahead :class:`~repro.recovery.Journal`: every sync
+        #: attempt becomes a ``mirror.sync`` transaction, so a crash mid-sync
+        #: is distinguishable from a clean interruption afterwards (open vs
+        #: aborted).  Mirror syncs recover by *replay* — the delta recomputes
+        #: against whatever landed, so a resync is idempotent.
+        self.journal = journal
         self.local = Repository(
             repo_id or f"{upstream.repo_id}-mirror",
             name=f"{upstream.name} (local mirror)",
@@ -127,6 +134,19 @@ class RepoMirror:
         """True if the mirror matches upstream metadata."""
         return self._synced_checksum == self.upstream.repomd_checksum()
 
+    def state_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot of mirror contents and fault knobs."""
+        return {
+            "repo": self.local.repo_id,
+            "synced_checksum": self._synced_checksum,
+            "local_nevras": sorted(p.nevra for p in self.local.all_packages()),
+            "syncs": len(self.sync_history),
+            "interruptions_pending": self._interruptions_pending,
+            "loss_probability": self._loss_probability,
+            "disk_full": self._disk_full,
+            "corrupt_once": sorted(self._corrupt_once),
+        }
+
     def sync(self) -> SyncStats:
         """Bring the mirror up to date, transferring only the delta.
 
@@ -149,9 +169,18 @@ class RepoMirror:
         stats = SyncStats()
         started_s = self.kernel.now_s
         upstream_sum = self.upstream.repomd_checksum()
+        txn = (
+            self.journal.begin(
+                "mirror.sync", repo=self.local.repo_id, upstream=upstream_sum
+            )
+            if self.journal is not None
+            else None
+        )
         # Metadata probe always costs one round trip.
         self._spend(self.link.transfer_time_s(16 * 1024))
         if self._disk_full:
+            if txn is not None:
+                self.journal.abort(txn, note="disk full before staging")
             raise YumError(
                 f"mirror {self.local.repo_id}: disk full, cannot stage packages"
             )
@@ -159,6 +188,8 @@ class RepoMirror:
             stats.skipped = True
             stats.elapsed_s = self.kernel.now_s - started_s
             self.sync_history.append(stats)
+            if txn is not None:
+                self.journal.commit(txn)
             self.kernel.trace.emit(
                 "mirror.sync", t_s=self.kernel.now_s, subsystem="yum",
                 repo=self.local.repo_id, nbytes=0, files=0, skipped=True,
@@ -176,6 +207,14 @@ class RepoMirror:
             for n in sorted(set(upstream_by_nevra) - set(local_by_nevra))
         ]
         to_remove = sorted(set(local_by_nevra) - set(upstream_by_nevra))
+        transfer_op = (
+            self.journal.intent(
+                txn, "transfer",
+                fetch=[p.nevra for p in to_fetch], remove=to_remove,
+            )
+            if txn is not None
+            else None
+        )
 
         for nevra in to_remove:
             self.local.remove(nevra)
@@ -201,6 +240,15 @@ class RepoMirror:
                     )
                 stats.elapsed_s = self.kernel.now_s - started_s
                 self.sync_history.append(stats)
+                if txn is not None:
+                    # A clean interruption is NOT a crash: the partial state
+                    # is deliberate (the retry resumes from it), so the
+                    # transaction closes as aborted instead of lingering open.
+                    self.journal.abort(
+                        txn,
+                        note=f"interrupted; {len(stats.fetched_nevras)} "
+                        f"package(s) kept for resume",
+                    )
                 raise YumError(
                     f"mirror {self.local.repo_id}: sync interrupted after "
                     f"{len(stats.fetched_nevras)}/{len(to_fetch)} package(s); "
@@ -225,6 +273,10 @@ class RepoMirror:
         stats.elapsed_s = self.kernel.now_s - started_s
         self._synced_checksum = upstream_sum
         self.sync_history.append(stats)
+        if txn is not None:
+            assert transfer_op is not None
+            self.journal.applied(txn, transfer_op)
+            self.journal.commit(txn)
         self.kernel.trace.emit(
             "mirror.sync", t_s=self.kernel.now_s, subsystem="yum",
             repo=self.local.repo_id, nbytes=stats.bytes_transferred,
