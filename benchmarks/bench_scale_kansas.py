@@ -43,6 +43,8 @@ def test_scale_kansas(benchmark, save_artifact):
         f"worst-case hops:      {worst}",
         f"uniform packages:     {report.uniform_package_count}",
         f"DHCP leases:          {len(cluster.network.dhcp.leases())}",
+        f"build wall time:      {benchmark.stats['mean']:.2f} s"
+        f" ({len(hosts) / benchmark.stats['mean']:.1f} nodes/s)",
     ]
     save_artifact("scale_kansas", "\n".join(lines))
 

@@ -1,0 +1,34 @@
+"""repro.perf: the canonical hot-path benchmarks and regression harness.
+
+The paper's value proposition is *time-to-cluster*; the ROADMAP's north
+star is production scale.  This package pins both with numbers: a small
+set of canonical benches over the four hot subsystems (dependency closure,
+event kernel, trace bus, Kansas-scale install, scheduler churn), a
+machine-readable results file (``BENCH_hotpaths.json`` at the repo root,
+``{bench -> {ops_per_s, wall_s, n}}``), and a baseline-comparison mode CI
+runs on every change::
+
+    python -m repro.perf                    # run all benches, write JSON
+    python -m repro.perf --quick \\
+        --against BENCH_hotpaths.json \\
+        --tolerance 0.25                    # fail on >25% regression
+
+``--naive`` re-runs the same benches through the retained ``_scan_*``
+reference implementations with every cache disabled — the before/after
+ablation that justifies the capability indexes (docs/PERF.md).
+"""
+
+from .benches import BENCHES, BenchResult, run_benches
+from .cli import compare_results, load_results, main, write_results
+from .naive import naive_mode
+
+__all__ = [
+    "BENCHES",
+    "BenchResult",
+    "run_benches",
+    "naive_mode",
+    "load_results",
+    "write_results",
+    "compare_results",
+    "main",
+]

@@ -1,0 +1,302 @@
+"""The canonical hot-path benches.
+
+Each bench is a plain function ``fn(quick: bool) -> BenchResult`` that
+builds its own world, times the hot region with ``time.perf_counter``
+(best of :data:`REPEATS` rounds), and reports ``(ops_per_s, wall_s, n)``.
+Caches that the bench deliberately exercises *within* a round (the
+depsolver resolution cache across the 220 Kansas nodes) are cleared
+*between* rounds, so every round pays the first miss honestly.
+
+``--quick`` shrinks the workload for CI smoke runs; quick results are
+recorded under ``<name>@quick`` so full and quick baselines never mix.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["BenchResult", "BENCHES", "run_benches", "REPEATS"]
+
+#: Rounds per bench; the best (minimum) wall time wins, the standard
+#: noise-rejection for microbenches on shared machines.
+REPEATS = 3
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One bench outcome (the JSON row)."""
+
+    name: str
+    ops_per_s: float
+    wall_s: float
+    n: int
+
+    def to_dict(self) -> dict[str, float | int]:
+        return {
+            "ops_per_s": round(self.ops_per_s, 1),
+            "wall_s": round(self.wall_s, 6),
+            "n": self.n,
+        }
+
+
+def _best_of(setup: Callable[[], object], run: Callable[[object], int]) -> tuple[float, int]:
+    """Time ``run(setup())`` REPEATS times; returns (best wall_s, n_ops)."""
+    best = float("inf")
+    n = 0
+    for _ in range(REPEATS):
+        world = setup()
+        t0 = time.perf_counter()
+        n = run(world)
+        best = min(best, time.perf_counter() - t0)
+    return best, n
+
+
+def _xsede_repo_set():
+    from ..core import xsede_packages
+    from ..rocks import base_os_packages
+    from ..distro import CENTOS_6_5
+    from ..yum import RepoSet, Repository
+
+    repo = Repository("xsede", priority=50)
+    repo.add_all(base_os_packages(CENTOS_6_5) + xsede_packages())
+    return RepoSet([repo])
+
+
+def _fresh_db():
+    from ..distro import CENTOS_6_5, Host
+    from ..hardware import build_littlefe_modified
+    from ..rpm import RpmDatabase
+
+    head = build_littlefe_modified().machine.head
+    return lambda: RpmDatabase(Host(head, CENTOS_6_5))
+
+
+def bench_depsolver_closure(quick: bool = False) -> BenchResult:
+    """Repeated single-package closure (``yum install gromacs``) — the
+    memoised best-provider / resolution-cache fast path."""
+    from ..yum import resolve_install
+    from ..yum.depsolver import clear_resolution_cache
+
+    rounds = 20 if quick else 100
+    repos = _xsede_repo_set()
+    make_db = _fresh_db()
+
+    def setup():
+        clear_resolution_cache()
+        return None
+
+    def run(_):
+        for _i in range(rounds):
+            resolve_install(["gromacs"], repos, make_db())
+        return rounds
+
+    wall, n = _best_of(setup, run)
+    return BenchResult("depsolver_closure", n / wall, wall, n)
+
+
+def bench_depsolver_kansas(quick: bool = False) -> BenchResult:
+    """Depsolver closure at Kansas scale: the full uniform package stack
+    resolved once per node (220 nodes, Table 3's largest row) against a
+    fresh RepoSet per node — exactly how the Rocks installer kickstarts
+    hosts.  The XCBC "same stack on every node" cache path."""
+    from ..core import xsede_packages
+    from ..rocks import base_os_packages
+    from ..distro import CENTOS_6_5
+    from ..yum import RepoSet, Repository, resolve_install
+    from ..yum.depsolver import clear_resolution_cache
+
+    nodes = 20 if quick else 220
+    repo = Repository("xsede", priority=50)
+    repo.add_all(base_os_packages(CENTOS_6_5) + xsede_packages())
+    names = sorted({p.name for p in repo.all_packages()})
+    make_db = _fresh_db()
+
+    def setup():
+        clear_resolution_cache()
+        return None
+
+    def run(_):
+        for _i in range(nodes):
+            # Fresh RepoSet per node, as in RocksInstaller._kickstart_host;
+            # the content-addressed epoch makes the cache hit anyway.
+            resolve_install(names, RepoSet([repo]), make_db())
+        return nodes
+
+    wall, n = _best_of(setup, run)
+    return BenchResult("depsolver_kansas", n / wall, wall, n)
+
+
+def bench_event_kernel(quick: bool = False) -> BenchResult:
+    """Raw kernel throughput: schedule 20k events with a 1-in-8
+    cancel/reschedule churn, then drain (the power manager's pattern)."""
+    from ..sim import SimKernel
+
+    n_events = 5_000 if quick else 20_000
+
+    def setup():
+        return None
+
+    def run(_):
+        kernel = SimKernel(seed=1)
+        sink = []
+        handles = []
+        for i in range(n_events):
+            handle = kernel.at(
+                float(kernel.rng.randrange(1000)), lambda i=i: sink.append(i)
+            )
+            if i % 8 == 0:
+                handles.append(handle)
+            elif i % 8 == 4 and handles:
+                victim = handles.pop()
+                if victim.active:
+                    kernel.reschedule(victim, victim.time_s + 10.0)
+        kernel.run()
+        return n_events
+
+    wall, n = _best_of(setup, run)
+    return BenchResult("event_kernel", n / wall, wall, n)
+
+
+def bench_trace_bus(quick: bool = False) -> BenchResult:
+    """Raw emit throughput on one bus (shape-cache fast path)."""
+    from ..sim import TraceBus
+
+    n_emits = 10_000 if quick else 50_000
+
+    def setup():
+        return TraceBus()
+
+    def run(bus):
+        emit = bus.emit
+        for i in range(n_emits):
+            emit(
+                "metric.sample", t_s=float(i), subsystem="bench",
+                host="h0", metric="load_one", value=1.0,
+            )
+        return n_emits
+
+    wall, n = _best_of(setup, run)
+    return BenchResult("trace_bus", n / wall, wall, n)
+
+
+def bench_trace_heavy_run_until(quick: bool = False) -> BenchResult:
+    """Trace-heavy ``run_until``: 20k pre-scheduled events, 10 per
+    timestamp, each emitting one trace event — times the drain only
+    (batched same-time pops + deferred event materialisation)."""
+    from ..sim import SimKernel
+
+    n_events = 5_000 if quick else 20_000
+
+    def setup():
+        kernel = SimKernel(seed=2)
+        bus = kernel.trace
+        for i in range(n_events):
+            t = float(i // 10)
+            kernel.at(
+                t,
+                lambda i=i, t=t: bus.emit(
+                    "metric.sample", t_s=t, subsystem="bench",
+                    host=f"h{i % 7}", metric="load_one", value=0.5,
+                ),
+            )
+        return kernel
+
+    def run(kernel):
+        kernel.run_until(float(n_events))
+        return n_events
+
+    wall, n = _best_of(setup, run)
+    return BenchResult("trace_heavy_run_until", n / wall, wall, n)
+
+
+def bench_scheduler_churn(quick: bool = False) -> BenchResult:
+    """Scheduler placement churn: bursts of jobs through the power-managed
+    Limulus scheduler (placement, completion events, power transitions)."""
+    from ..hardware import build_limulus_hpc200
+    from ..scheduler import Job, PowerManagedScheduler
+    from ..sim import SimKernel
+
+    bursts = 3 if quick else 10
+    jobs_per_burst = 4
+
+    def setup():
+        machine = build_limulus_hpc200().machine
+        kernel = SimKernel(seed=3)
+        return PowerManagedScheduler(machine, manage_power=True, kernel=kernel)
+
+    def run(scheduler):
+        for burst in range(bursts):
+            scheduler.now_s = burst * 7200.0
+            for i in range(jobs_per_burst):
+                scheduler.submit(
+                    Job(
+                        f"b{burst}-j{i}", "bench", cores=4,
+                        walltime_limit_s=7200, runtime_s=1800,
+                    )
+                )
+            scheduler.run_to_completion()
+        return bursts * jobs_per_burst
+
+    wall, n = _best_of(setup, run)
+    return BenchResult("scheduler_churn", n / wall, wall, n)
+
+
+def bench_kansas_install(quick: bool = False) -> BenchResult:
+    """End-to-end XCBC build: hardware, leaf/spine network, PXE discovery,
+    and the full software install on every node.  Quick mode builds Table
+    3's Marshall row (22 nodes) instead of Kansas (one timed round)."""
+    from ..core import build_xcbc_cluster
+    from ..core.deployments import TABLE3_SITES, rebuild_site_hardware
+    from ..yum.depsolver import clear_resolution_cache
+
+    site_name = "Marshall" if quick else "Kansas"
+    site = next(s for s in TABLE3_SITES if site_name in s.site)
+
+    # One timed round: this is a whole-cluster build, multi-second before
+    # the overhaul, and round-to-round noise is small relative to that.
+    clear_resolution_cache()
+    machine = rebuild_site_hardware(site)
+    t0 = time.perf_counter()
+    report = build_xcbc_cluster(machine, include_optional_rolls=False)
+    wall = time.perf_counter() - t0
+    nodes = report.node_count
+    return BenchResult("kansas_install", nodes / wall, wall, nodes)
+
+
+#: name -> bench function (full and quick variants share one function).
+BENCHES: dict[str, Callable[[bool], BenchResult]] = {
+    "depsolver_closure": bench_depsolver_closure,
+    "depsolver_kansas": bench_depsolver_kansas,
+    "event_kernel": bench_event_kernel,
+    "trace_bus": bench_trace_bus,
+    "trace_heavy_run_until": bench_trace_heavy_run_until,
+    "scheduler_churn": bench_scheduler_churn,
+    "kansas_install": bench_kansas_install,
+}
+
+
+def run_benches(
+    names: list[str] | None = None,
+    *,
+    quick: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, BenchResult]:
+    """Run the named benches (default: all); returns name -> result.
+
+    Quick results are keyed ``<name>@quick`` so a quick smoke run is only
+    ever compared against a quick baseline.
+    """
+    selected = names if names is not None else list(BENCHES)
+    unknown = [n for n in selected if n not in BENCHES]
+    if unknown:
+        raise KeyError(f"unknown bench(es): {', '.join(sorted(unknown))}")
+    out: dict[str, BenchResult] = {}
+    for name in selected:
+        if progress is not None:
+            progress(name)
+        result = BENCHES[name](quick)
+        key = f"{name}@quick" if quick else name
+        out[key] = BenchResult(key, result.ops_per_s, result.wall_s, result.n)
+    return out

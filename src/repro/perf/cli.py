@@ -1,0 +1,201 @@
+"""``python -m repro.perf`` — run the hot-path benches, compare baselines.
+
+Default run executes every bench and writes ``BENCH_hotpaths.json`` in the
+current directory (the repo root, in CI and normal use), merging into any
+existing file so full and ``--quick`` entries coexist.  With ``--against``
+the run becomes a regression gate: no file is written (unless ``--out`` is
+given explicitly) and the process exits 1 when any bench is more than
+``--tolerance`` slower than its baseline entry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Mapping
+
+from .benches import BENCHES, BenchResult, run_benches
+
+__all__ = ["main", "load_results", "write_results", "compare_results"]
+
+DEFAULT_OUT = "BENCH_hotpaths.json"
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_results(path: str | pathlib.Path) -> dict[str, dict]:
+    """Read a results file; ``{bench: {ops_per_s, wall_s, n}}``."""
+    data = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object at top level")
+    return data
+
+
+def write_results(
+    results: Mapping[str, BenchResult], path: str | pathlib.Path
+) -> dict[str, dict]:
+    """Merge ``results`` into ``path`` (kept sorted); returns what was written."""
+    target = pathlib.Path(path)
+    merged: dict[str, dict] = {}
+    if target.exists():
+        merged.update(load_results(target))
+    for name, result in results.items():
+        merged[name] = result.to_dict()
+    merged = {name: merged[name] for name in sorted(merged)}
+    target.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    return merged
+
+
+def compare_results(
+    current: Mapping[str, BenchResult],
+    baseline: Mapping[str, Mapping],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Regressions: benches more than ``tolerance`` slower than baseline.
+
+    Only benches present in both sets are compared (a quick run against a
+    full baseline matches on the ``@quick`` keys).  Returns human-readable
+    problem strings; empty means the gate passes.
+    """
+    problems: list[str] = []
+    for name, result in current.items():
+        entry = baseline.get(name)
+        if entry is None:
+            continue
+        base_ops = float(entry.get("ops_per_s", 0.0))
+        if base_ops <= 0:
+            continue
+        floor = base_ops * (1.0 - tolerance)
+        if result.ops_per_s < floor:
+            drop = 1.0 - result.ops_per_s / base_ops
+            problems.append(
+                f"{name}: {result.ops_per_s:,.1f} ops/s vs baseline "
+                f"{base_ops:,.1f} ({drop:.0%} slower, tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+def _render_table(
+    results: Mapping[str, BenchResult], baseline: Mapping[str, Mapping] | None
+) -> str:
+    lines = [f"{'bench':<28}{'ops/s':>14}{'wall_s':>10}{'n':>8}{'vs baseline':>14}"]
+    for name, result in results.items():
+        delta = ""
+        if baseline is not None:
+            entry = baseline.get(name)
+            if entry and float(entry.get("ops_per_s", 0.0)) > 0:
+                ratio = result.ops_per_s / float(entry["ops_per_s"])
+                delta = f"{ratio:.2f}x"
+        lines.append(
+            f"{name:<28}{result.ops_per_s:>14,.1f}{result.wall_s:>10.4f}"
+            f"{result.n:>8}{delta:>14}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Run the canonical hot-path benches and gate regressions.",
+    )
+    parser.add_argument(
+        "benches",
+        nargs="*",
+        metavar="BENCH",
+        help=f"benches to run (default: all of {', '.join(BENCHES)})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrunk workloads for CI smoke runs (results keyed <name>@quick)",
+    )
+    parser.add_argument(
+        "--naive",
+        action="store_true",
+        help="run through the _scan_* reference paths with all caches off "
+        "(ablation baseline; results keyed <name>@naive, never written)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help=f"results file to write/merge (default: {DEFAULT_OUT}; "
+        "with --against, only written when given explicitly)",
+    )
+    parser.add_argument(
+        "--against",
+        metavar="PATH",
+        default=None,
+        help="baseline results file to compare with; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        metavar="FRAC",
+        help="allowed fractional slowdown vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list bench names and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, fn in BENCHES.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<24}{doc}")
+        return 0
+
+    names = args.benches or None
+    try:
+        if args.naive:
+            from .naive import naive_mode
+
+            with naive_mode():
+                results = run_benches(
+                    names, quick=args.quick, progress=lambda n: print(f"[naive] {n} ...")
+                )
+            results = {
+                f"{name}@naive": BenchResult(
+                    f"{name}@naive", r.ops_per_s, r.wall_s, r.n
+                )
+                for name, r in results.items()
+            }
+        else:
+            results = run_benches(
+                names, quick=args.quick, progress=lambda n: print(f"{n} ...")
+            )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline: dict[str, dict] | None = None
+    if args.against is not None:
+        try:
+            baseline = load_results(args.against)
+        except FileNotFoundError:
+            print(f"error: baseline {args.against} not found", file=sys.stderr)
+            return 2
+
+    print(_render_table(results, baseline))
+
+    if args.naive:
+        if args.out is not None:
+            print("note: --naive results are never written; ignoring --out")
+    elif args.against is None or args.out is not None:
+        out = args.out if args.out is not None else DEFAULT_OUT
+        write_results(results, out)
+        print(f"wrote {out}")
+
+    if baseline is not None:
+        problems = compare_results(results, baseline, tolerance=args.tolerance)
+        if problems:
+            print("\nPERF REGRESSION:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        compared = sum(1 for name in results if name in baseline)
+        print(f"perf gate OK ({compared} bench(es) within {args.tolerance:.0%})")
+    return 0

@@ -1,0 +1,95 @@
+"""Naive mode: run the benches through the retained ``_scan_*`` paths.
+
+The perf overhaul kept every pre-index implementation as a ``_scan_*``
+reference oracle.  :func:`naive_mode` temporarily rewires the hot methods
+back onto those scans and disables every cache layer:
+
+* ``Repository.providers_of`` / ``obsoleters_of`` -> full catalogue walks;
+* ``RepoSet.providers_of`` / ``candidates_by_name`` -> uncached scans;
+* ``RpmDatabase.providers_of`` / ``is_satisfied`` -> installed-set walks;
+* the depsolver's best-provider memo and whole-resolution LRU -> off;
+* ``TraceBus`` -> ``strict=True`` per-emit validation;
+* ``SimKernel.run_until`` -> one-at-a-time stepping (no batched pops).
+
+This is how ``python -m repro.perf --naive`` produces the "before" column
+of the before/after ablation without checking out an old tree.  It is a
+benchmarking aid, not an operating mode — it patches classes process-wide
+while the context is open.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+__all__ = ["naive_mode"]
+
+
+@contextlib.contextmanager
+def naive_mode():
+    """Context manager: scan implementations + caches off, restored on exit."""
+    from ..rpm.database import RpmDatabase
+    from ..sim.kernel import SimKernel
+    from ..sim.trace import TraceBus
+    from ..yum import depsolver
+    from ..yum.repository import Repository, RepoSet
+
+    saved = {
+        "repo_providers": Repository.providers_of,
+        "repo_obsoleters": Repository.obsoleters_of,
+        "set_providers": RepoSet.providers_of,
+        "set_candidates": RepoSet.candidates_by_name,
+        "set_cache": RepoSet.cache,
+        "db_providers": RpmDatabase.providers_of,
+        "db_satisfied": RpmDatabase.is_satisfied,
+        "bus_init": TraceBus.__init__,
+        "run_until": SimKernel.run_until,
+        "cache_get": depsolver._cache_get,
+        "cache_put": depsolver._cache_put,
+    }
+
+    def strict_bus_init(self, *, enabled=True, strict=False):
+        del strict
+        saved["bus_init"](self, enabled=enabled, strict=True)
+
+    def stepping_run_until(self, time_s):
+        from ..errors import SimulationError
+
+        if time_s < self.now_s:
+            raise SimulationError(
+                f"run_until({time_s}) would move time backwards from {self.now_s}"
+            )
+        fired = 0
+        while True:
+            head = self.queue.peek_time_s()
+            if head is None or head > time_s:
+                break
+            self.step()
+            fired += 1
+        self.clock.advance_to(time_s)
+        return fired
+
+    Repository.providers_of = Repository._scan_providers_of
+    Repository.obsoleters_of = Repository._scan_obsoleters_of
+    RepoSet.providers_of = RepoSet._scan_providers_of
+    RepoSet.candidates_by_name = RepoSet._scan_candidates_by_name
+    RepoSet.cache = lambda self, namespace: {}
+    RpmDatabase.providers_of = RpmDatabase._scan_providers_of
+    RpmDatabase.is_satisfied = RpmDatabase._scan_is_satisfied
+    TraceBus.__init__ = strict_bus_init
+    SimKernel.run_until = stepping_run_until
+    depsolver._cache_get = lambda key: None
+    depsolver._cache_put = lambda key, resolution: None
+    try:
+        yield
+    finally:
+        Repository.providers_of = saved["repo_providers"]
+        Repository.obsoleters_of = saved["repo_obsoleters"]
+        RepoSet.providers_of = saved["set_providers"]
+        RepoSet.candidates_by_name = saved["set_candidates"]
+        RepoSet.cache = saved["set_cache"]
+        RpmDatabase.providers_of = saved["db_providers"]
+        RpmDatabase.is_satisfied = saved["db_satisfied"]
+        TraceBus.__init__ = saved["bus_init"]
+        SimKernel.run_until = saved["run_until"]
+        depsolver._cache_get = saved["cache_get"]
+        depsolver._cache_put = saved["cache_put"]

@@ -4,10 +4,18 @@ Tracks which :class:`~repro.rpm.package.Package` objects are installed on a
 host and answers capability queries.  Mutation goes through
 :mod:`repro.rpm.transaction` — the DB's own ``_install_unchecked`` /
 ``_erase_unchecked`` are the primitive operations transactions build on.
+
+Capability queries (``providers_of`` / ``is_satisfied`` — the depsolver's
+innermost loop) are served from an inverted provides-name → packages index.
+Every mutation bumps a monotonic :attr:`epoch`; the index is kept current
+incrementally once built, and downstream caches (the depsolver's resolution
+cache) key on ``(host, epoch)`` or on :meth:`fingerprint` to stay sound.
+The pre-index scans survive as ``_scan_*`` reference oracles.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable
 
 from ..distro.host import Host
@@ -24,6 +32,57 @@ class RpmDatabase:
     def __init__(self, host: Host) -> None:
         self.host = host
         self._by_name: dict[str, Package] = {}
+        self._epoch = 0
+        self._index_epoch = -1
+        self._provides_index: dict[str, list[Package]] = {}
+        self._fingerprint_epoch = -1
+        self._fingerprint = ""
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter: bumped by every install/erase."""
+        return self._epoch
+
+    def fingerprint(self) -> str:
+        """Content digest of the installed set (memoised per epoch).
+
+        Two databases with equal fingerprints hold the same NEVRAs, so
+        resolution results computed against one are valid for the other —
+        the XCBC "same stack on every node" cache key (docs/PERF.md).
+        """
+        if self._fingerprint_epoch != self._epoch:
+            digest = hashlib.sha256()
+            for nevra in sorted(p.nevra for p in self._by_name.values()):
+                digest.update(nevra.encode())
+            self._fingerprint = digest.hexdigest()
+            self._fingerprint_epoch = self._epoch
+        return self._fingerprint
+
+    # -- capability index ----------------------------------------------------
+
+    def _ensure_index(self) -> None:
+        if self._index_epoch == self._epoch:
+            return
+        index: dict[str, list[Package]] = {}
+        for pkg in self._by_name.values():
+            for cap in pkg.all_provides():
+                index.setdefault(cap.name, []).append(pkg)
+        self._provides_index = index
+        self._index_epoch = self._epoch
+
+    def _index_add(self, pkg: Package) -> None:
+        """Fold one installed package into a current index (incremental)."""
+        for cap in pkg.all_provides():
+            self._provides_index.setdefault(cap.name, []).append(pkg)
+
+    def _index_discard(self, pkg: Package) -> None:
+        """Drop one erased package from a current index (incremental)."""
+        for cap in pkg.all_provides():
+            bucket = self._provides_index.get(cap.name)
+            if bucket is not None:
+                self._provides_index[cap.name] = [
+                    p for p in bucket if p is not pkg
+                ]
 
     # -- queries ------------------------------------------------------------
 
@@ -49,11 +108,29 @@ class RpmDatabase:
             ) from None
 
     def providers_of(self, req: Requirement) -> list[Package]:
-        """Installed packages satisfying ``req``."""
+        """Installed packages satisfying ``req`` (index lookup)."""
+        self._ensure_index()
+        candidates = self._provides_index.get(req.name)
+        if not candidates:
+            return []
+        return sorted(
+            (p for p in candidates if p.satisfies(req)), key=lambda p: p.name
+        )
+
+    def _scan_providers_of(self, req: Requirement) -> list[Package]:
+        """Reference oracle for :meth:`providers_of`: the pre-index scan."""
         return [p for p in self.installed() if p.satisfies(req)]
 
     def is_satisfied(self, req: Requirement) -> bool:
         """True if some installed package satisfies ``req``."""
+        self._ensure_index()
+        candidates = self._provides_index.get(req.name)
+        if not candidates:
+            return False
+        return any(p.satisfies(req) for p in candidates)
+
+    def _scan_is_satisfied(self, req: Requirement) -> bool:
+        """Reference oracle for :meth:`is_satisfied`."""
         return any(p.satisfies(req) for p in self._by_name.values())
 
     def unsatisfied_requirements(self) -> list[tuple[Package, Requirement]]:
@@ -141,6 +218,10 @@ class RpmDatabase:
                 f"({self._by_name[pkg.name].nevra})"
             )
         self._by_name[pkg.name] = pkg
+        if self._index_epoch == self._epoch:
+            self._index_add(pkg)
+            self._index_epoch += 1
+        self._epoch += 1
         for path in pkg.files:
             self.host.fs.write(path, f"payload of {pkg.nevra}", owner=pkg.name)
         for command in pkg.commands:
@@ -176,6 +257,10 @@ class RpmDatabase:
         """Erase a package and its payload (no dependant checking)."""
         pkg = self.get(name)
         del self._by_name[name]
+        if self._index_epoch == self._epoch:
+            self._index_discard(pkg)
+            self._index_epoch += 1
+        self._epoch += 1
         self.host.fs.remove_owned(name)
         self.host.services.unregister_package(name)
         if pkg.modulefile:

@@ -5,6 +5,11 @@ serial — events scheduled for the same instant fire in submission order
 (stable FIFO tie-break), which is what makes whole-simulation runs
 deterministic and traces byte-identical across runs.
 
+The heap stores plain ``(time_s, seq, handle)`` tuples, so sift
+comparisons run on C-level float/int pairs instead of calling back into
+``EventHandle.__lt__`` — the single hottest line of the kernel before the
+perf overhaul (see docs/PERF.md and ``python -m repro.perf``).
+
 Cancellation is lazy: a cancelled handle stays in the heap and is skipped
 at pop time, the standard O(log n) trick that avoids heap surgery.
 :meth:`EventQueue.reschedule` is the first-class replacement for the "pull
@@ -20,12 +25,13 @@ heap within a constant factor of the live event count.
 from __future__ import annotations
 
 import heapq
-import math
 from typing import Callable
 
 from ..errors import SimulationError
 
 __all__ = ["EventHandle", "EventQueue"]
+
+_INF = float("inf")
 
 
 class EventHandle:
@@ -64,7 +70,7 @@ class EventQueue:
     """The kernel's pending-event heap."""
 
     def __init__(self) -> None:
-        self._heap: list[EventHandle] = []
+        self._heap: list[tuple[float, int, EventHandle]] = []
         self._next_seq = 0
         self._live = 0
 
@@ -85,7 +91,7 @@ class EventQueue:
         a replayed run rebuilt the exact same pending-event set.
         """
         return sorted(
-            (h.time_s, h.seq, h.label) for h in self._heap if h.active
+            (h.time_s, h.seq, h.label) for _, _, h in self._heap if h.active
         )
 
     @property
@@ -97,7 +103,7 @@ class EventQueue:
         """Drop every dead entry from the heap; returns how many went."""
         dead = len(self._heap) - self._live
         if dead:
-            self._heap = [h for h in self._heap if h.active]
+            self._heap = [entry for entry in self._heap if entry[2].active]
             heapq.heapify(self._heap)
         return dead
 
@@ -116,12 +122,15 @@ class EventQueue:
     ) -> EventHandle:
         """Enqueue ``callback`` to fire at ``time_s``; returns its handle."""
         time_s = float(time_s)
-        if math.isnan(time_s) or math.isinf(time_s):
+        # One chained comparison rejects NaN (all comparisons false) and
+        # both infinities without separate math.isnan/isinf calls.
+        if not -_INF < time_s < _INF:
             raise SimulationError(f"cannot schedule an event at t={time_s}")
         self._maybe_compact()
-        handle = EventHandle(time_s, self._next_seq, callback, label)
-        self._next_seq += 1
-        heapq.heappush(self._heap, handle)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        handle = EventHandle(time_s, seq, callback, label)
+        heapq.heappush(self._heap, (time_s, seq, handle))
         self._live += 1
         return handle
 
@@ -147,25 +156,64 @@ class EventQueue:
         return self.schedule(time_s, callback, label=label)
 
     def _prune(self) -> None:
-        while self._heap and not self._heap[0].active:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2]._dead:
+            heapq.heappop(heap)
 
     def peek(self) -> EventHandle | None:
         """The earliest pending event, or None when empty."""
         self._prune()
-        return self._heap[0] if self._heap else None
+        return self._heap[0][2] if self._heap else None
 
     def peek_time_s(self) -> float | None:
         """The earliest pending event's time, or None when empty."""
-        head = self.peek()
-        return head.time_s if head is not None else None
+        self._prune()
+        return self._heap[0][0] if self._heap else None
 
     def pop(self) -> EventHandle | None:
         """Remove and return the earliest pending event (None when empty)."""
         self._prune()
         if not self._heap:
             return None
-        handle = heapq.heappop(self._heap)
+        handle = heapq.heappop(self._heap)[2]
         handle._dead = True  # fired: the handle can no longer be cancelled
         self._live -= 1
         return handle
+
+    def pop_batch(self) -> list[EventHandle]:
+        """Remove and return every pending event sharing the earliest time,
+        in submission (seq) order.
+
+        Unlike :meth:`pop`, batch members stay *pending* until the caller
+        fires them with :meth:`mark_fired` — so an earlier member's callback
+        may still cancel (or reschedule) a later member of the same batch,
+        exactly as it could when events were popped one at a time.
+        """
+        self._prune()
+        heap = self._heap
+        if not heap:
+            return []
+        time_s = heap[0][0]
+        batch: list[EventHandle] = []
+        heappop = heapq.heappop
+        while heap and heap[0][0] == time_s:
+            handle = heappop(heap)[2]
+            if not handle._dead:
+                batch.append(handle)
+        return batch
+
+    def mark_fired(self, handle: EventHandle) -> None:
+        """Account a batch member as fired (pairs with :meth:`pop_batch`)."""
+        handle._dead = True
+        self._live -= 1
+
+    def requeue(self, handles: list[EventHandle]) -> None:
+        """Put unfired batch members back with their original (time, seq).
+
+        The exception path of a batched :meth:`~repro.sim.SimKernel.run_until`:
+        if a callback raises mid-batch, the not-yet-fired members return to
+        the heap exactly as if they had never been popped.
+        """
+        for handle in handles:
+            if handle.active:
+                heapq.heappush(self._heap, (handle.time_s, handle.seq, handle))

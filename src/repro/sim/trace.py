@@ -175,32 +175,73 @@ class TraceBus:
     ``enabled=False`` turns the bus into a no-op (the overhead benchmark's
     baseline).  Subscribers are called synchronously on every emit — the
     hook co-simulation harnesses use to react to events as they happen.
+
+    Validation fast path: by default each ``(kind, data-key-tuple)`` *shape*
+    is schema-checked once — the first emit from a call site validates field
+    presence and types, and later emits with the same shape skip the loop
+    (call sites emit structurally identical payloads).  ``strict=True``
+    restores per-emit validation of every field.  Event objects are
+    materialised lazily: the hot path appends a plain record tuple, and
+    :attr:`events` builds :class:`TraceEvent` wrappers on first access —
+    ``emit`` therefore only returns the event when it had to build one
+    (strict mode, or subscribers present); JSONL output is byte-identical
+    either way.
     """
 
-    def __init__(self, *, enabled: bool = True) -> None:
+    def __init__(self, *, enabled: bool = True, strict: bool = False) -> None:
         self.enabled = enabled
-        self.events: list[TraceEvent] = []
-        self.by_kind: Counter[str] = Counter()
-        self.by_subsystem: Counter[str] = Counter()
+        self.strict = strict
         self._subscribers: list[Callable[[TraceEvent], None]] = []
         self._next_seq = 0
+        #: (seq, t, kind, subsystem, data) tuples — the canonical log.
+        self._records: list[tuple[int, float, str, str, dict[str, Any]]] = []
+        self._materialised: list[TraceEvent] = []
+        #: kind -> key tuple of the last emit of that kind that passed
+        #: validation; a matching shape provably needs no re-check.
+        self._validated_shapes: dict[str, tuple] = {}
+        self._by_kind: Counter[str] = Counter()
+        self._by_subsystem: Counter[str] = Counter()
+        self._counted = 0
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._records)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Every published event as :class:`TraceEvent` (lazily built)."""
+        cache = self._materialised
+        records = self._records
+        if len(cache) < len(records):
+            for rec in records[len(cache):]:
+                cache.append(TraceEvent(*rec))
+        return cache
+
+    def _sync_counters(self) -> None:
+        records = self._records
+        if self._counted < len(records):
+            by_kind, by_sub = self._by_kind, self._by_subsystem
+            for rec in records[self._counted:]:
+                by_kind[rec[2]] += 1
+                by_sub[rec[3]] += 1
+            self._counted = len(records)
+
+    @property
+    def by_kind(self) -> Counter:
+        """Events per kind (folded up lazily from the record log)."""
+        self._sync_counters()
+        return self._by_kind
+
+    @property
+    def by_subsystem(self) -> Counter:
+        """Events per subsystem (folded up lazily from the record log)."""
+        self._sync_counters()
+        return self._by_subsystem
 
     def subscribe(self, fn: Callable[[TraceEvent], None]) -> None:
         """Call ``fn(event)`` synchronously on every future emit."""
         self._subscribers.append(fn)
 
-    def emit(
-        self, kind: str, *, t_s: float, subsystem: str, **data: Any
-    ) -> TraceEvent | None:
-        """Publish one event; returns it (or None when the bus is off)."""
-        if not self.enabled:
-            return None
-        schema = EVENT_SCHEMA.get(kind)
-        if schema is None:
-            raise TraceError(f"unknown event kind {kind!r}")
+    def _validate(self, kind: str, schema: dict[str, type], data: dict) -> None:
         for name, expected in schema.items():
             if name not in data:
                 raise TraceError(f"{kind}: missing data field {name!r}")
@@ -209,17 +250,38 @@ class TraceBus:
                     f"{kind}: data field {name!r} has type "
                     f"{type(data[name]).__name__}, wanted {expected.__name__}"
                 )
-        event = TraceEvent(
-            seq=self._next_seq, t_s=float(t_s), kind=kind, subsystem=subsystem,
-            data=data,
-        )
-        self._next_seq += 1
-        self.events.append(event)
-        self.by_kind[kind] += 1
-        self.by_subsystem[subsystem] += 1
-        for fn in self._subscribers:
-            fn(event)
-        return event
+
+    def emit(
+        self, kind: str, *, t_s: float, subsystem: str, **data: Any
+    ) -> TraceEvent | None:
+        """Publish one event.
+
+        Returns the :class:`TraceEvent` when one was materialised (strict
+        mode or subscribers registered); ``None`` on the deferred fast path
+        and when the bus is disabled.  The event is always recorded either
+        way — read it back via :attr:`events`.
+        """
+        if not self.enabled:
+            return None
+        schema = EVENT_SCHEMA.get(kind)
+        if schema is None:
+            raise TraceError(f"unknown event kind {kind!r}")
+        if self.strict:
+            self._validate(kind, schema, data)
+        else:
+            shape = tuple(data)
+            if self._validated_shapes.get(kind) != shape:
+                self._validate(kind, schema, data)
+                self._validated_shapes[kind] = shape
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        self._records.append((seq, float(t_s), kind, subsystem, data))
+        if self._subscribers or self.strict:
+            event = self.events[-1]
+            for fn in self._subscribers:
+                fn(event)
+            return event
+        return None
 
     def count(self, kind: str | None = None, *, subsystem: str | None = None) -> int:
         """Events seen, optionally filtered by kind or subsystem."""
@@ -227,23 +289,32 @@ class TraceBus:
             return self.by_kind[kind]
         if subsystem is not None:
             return self.by_subsystem[subsystem]
-        return len(self.events)
+        return len(self._records)
 
     def to_jsonl(self) -> str:
         """The whole trace as JSONL (deterministic byte-for-byte)."""
-        return "".join(e.to_json() + "\n" for e in self.events)
+        dumps = json.dumps
+        return "".join(
+            dumps(
+                {"seq": seq, "t": t, "kind": kind, "sub": sub, "data": data},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            + "\n"
+            for seq, t, kind, sub, data in self._records
+        )
 
     def write_jsonl(self, path) -> int:
         """Write the trace to ``path``; returns the event count."""
         import pathlib
 
         pathlib.Path(path).write_text(self.to_jsonl())
-        return len(self.events)
+        return len(self._records)
 
     def render_counters(self) -> str:
         """A small per-kind summary table (for example/benchmark output)."""
         lines = [f"{'event kind':<18}{'count':>8}"]
         for kind in sorted(self.by_kind):
             lines.append(f"{kind:<18}{self.by_kind[kind]:>8}")
-        lines.append(f"{'total':<18}{len(self.events):>8}")
+        lines.append(f"{'total':<18}{len(self._records):>8}")
         return "\n".join(lines)

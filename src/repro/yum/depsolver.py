@@ -14,10 +14,26 @@ is deterministic:
 
 The resolver also pulls upgrades for installed packages that would otherwise
 conflict-by-version, and honours ``obsoletes`` during updates.
+
+Two cache layers make repeated resolution cheap (the XCBC fast path — the
+same 136-package stack resolved on all 220 Kansas nodes):
+
+* :func:`best_provider` memoises per ``(requirement, prefer_name)`` in a
+  :meth:`RepoSet.cache` slot, which self-invalidates when the repo epoch
+  moves;
+* :func:`resolve_install` / :func:`resolve_update` keep a bounded LRU of
+  whole :class:`Resolution` objects keyed on (goal names, repo epoch,
+  installed-set fingerprint) — equal keys provably resolve identically, so
+  node 2..220 of a uniform build is a dict hit.  Cached hits return fresh
+  copies; callers may mutate their Resolution freely.
+
+``tests/test_perf_caches.py`` pins the invalidation behaviour (a sync that
+publishes a newer EVR, or a db install/erase, must drop stale entries).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..errors import DependencyError, PackageNotFoundError
@@ -25,7 +41,14 @@ from ..rpm.database import RpmDatabase
 from ..rpm.package import Package, Requirement
 from .repository import RepoSet
 
-__all__ = ["Resolution", "resolve_install", "resolve_update", "best_provider"]
+__all__ = [
+    "Resolution",
+    "resolve_install",
+    "resolve_update",
+    "best_provider",
+    "clear_resolution_cache",
+    "resolution_cache_stats",
+]
 
 
 @dataclass
@@ -45,30 +68,53 @@ class Resolution:
     def is_empty(self) -> bool:
         return not self.to_install
 
+    def copy(self) -> "Resolution":
+        """Shallow-per-field copy (Package objects are frozen/shared)."""
+        return Resolution(
+            to_install=list(self.to_install),
+            upgrades=dict(self.upgrades),
+            already_satisfied=list(self.already_satisfied),
+        )
+
+
+#: Sentinel cached for "nothing provides this" so repeated misses (the
+#: analyzer probing every requirement) skip the repo walk too.
+_NO_PROVIDER = object()
+
 
 def best_provider(
     req: Requirement, repos: RepoSet, *, prefer_name: str | None = None
 ) -> Package:
     """Pick the best available provider for ``req`` (see module rules).
 
-    Raises :class:`DependencyError` if nothing in the enabled repositories
+    Memoised per ``(req, prefer_name)`` against the RepoSet epoch.  Raises
+    :class:`DependencyError` if nothing in the enabled repositories
     satisfies the requirement.
     """
+    cache = repos.cache("best_provider")
+    key = (req, prefer_name)
+    hit = cache.get(key)
+    if hit is not None:
+        if hit is _NO_PROVIDER:
+            raise DependencyError(f"nothing provides {req}", missing=(str(req),))
+        return hit
     candidates = repos.providers_of(req)
     if not candidates:
-        raise DependencyError(
-            f"nothing provides {req}", missing=(str(req),)
-        )
-    want = prefer_name or req.name
-    exact = [p for p in candidates if p.name == want]
-    pool = exact or candidates
-    # newest EVR per name, then smallest name wins
+        cache[key] = _NO_PROVIDER
+        raise DependencyError(f"nothing provides {req}", missing=(str(req),))
+    # One pass: newest EVR per name; exact-name preference resolved by a
+    # dict probe instead of re-listing the candidates.
     best_by_name: dict[str, Package] = {}
-    for pkg in pool:
+    for pkg in candidates:
         held = best_by_name.get(pkg.name)
         if held is None or pkg.evr > held.evr:
             best_by_name[pkg.name] = pkg
-    return best_by_name[sorted(best_by_name)[0]]
+    want = prefer_name or req.name
+    best = best_by_name.get(want)
+    if best is None:
+        best = best_by_name[min(best_by_name)]
+    cache[key] = best
+    return best
 
 
 def _closure(
@@ -126,10 +172,55 @@ def _closure(
     return resolution
 
 
+# -- whole-resolution cache ---------------------------------------------------
+
+#: verb + goal names + repo epoch + db fingerprint -> Resolution (LRU).
+_RESOLUTION_CACHE: "OrderedDict[tuple, Resolution]" = OrderedDict()
+_RESOLUTION_CACHE_MAX = 1024
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def clear_resolution_cache() -> None:
+    """Drop every cached resolution (test isolation / memory pressure)."""
+    _RESOLUTION_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def resolution_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters for the whole-resolution LRU."""
+    return {
+        "hits": _CACHE_STATS["hits"],
+        "misses": _CACHE_STATS["misses"],
+        "size": len(_RESOLUTION_CACHE),
+    }
+
+
+def _cache_get(key: tuple) -> Resolution | None:
+    hit = _RESOLUTION_CACHE.get(key)
+    if hit is None:
+        _CACHE_STATS["misses"] += 1
+        return None
+    _RESOLUTION_CACHE.move_to_end(key)
+    _CACHE_STATS["hits"] += 1
+    return hit.copy()
+
+
+def _cache_put(key: tuple, resolution: Resolution) -> None:
+    _RESOLUTION_CACHE[key] = resolution.copy()
+    _RESOLUTION_CACHE.move_to_end(key)
+    while len(_RESOLUTION_CACHE) > _RESOLUTION_CACHE_MAX:
+        _RESOLUTION_CACHE.popitem(last=False)
+
+
 def resolve_install(
     names: list[str], repos: RepoSet, db: RpmDatabase
 ) -> Resolution:
     """Resolve ``yum install name...``: goals by name, newest candidates."""
+    key = ("install", tuple(names), repos.epoch, db.fingerprint())
+    cached = _cache_get(key)
+    if cached is not None:
+        return cached
     goals: list[Package] = []
     for name in names:
         try:
@@ -139,7 +230,9 @@ def resolve_install(
                 f"no package {name} available in any enabled repository",
                 missing=(name,),
             ) from None
-    return _closure(goals, repos, db)
+    resolution = _closure(goals, repos, db)
+    _cache_put(key, resolution)
+    return resolution
 
 
 def resolve_update(
@@ -156,6 +249,10 @@ def resolve_update(
     it even across a name change.
     """
     targets = names if names is not None else sorted(db.names())
+    key = ("update", tuple(targets), repos.epoch, db.fingerprint())
+    cached = _cache_get(key)
+    if cached is not None:
+        return cached
     goals: list[Package] = []
     obsoleted: dict[str, Package] = {}
     for name in targets:
@@ -167,14 +264,14 @@ def resolve_update(
         candidates = repos.candidates_by_name(name)
         if candidates and candidates[-1].evr > installed_pkg.evr:
             goals.append(candidates[-1])
-        # obsoletes scan: any available package that obsoletes this one
+        # obsoletes: indexed lookup of packages whose Obsoletes name this one
         for repo in repos.enabled_repos():
-            for pkg in repo.all_packages():
-                if pkg.name != name and pkg.obsoletes_package(installed_pkg):
-                    goals.append(pkg)
-                    obsoleted[name] = pkg
+            for pkg in repo.obsoleters_of(installed_pkg):
+                goals.append(pkg)
+                obsoleted[name] = pkg
     resolution = _closure(goals, repos, db) if goals else Resolution()
     for old_name, new_pkg in obsoleted.items():
         if new_pkg.name in resolution.install_names:
             resolution.upgrades[old_name] = new_pkg
+    _cache_put(key, resolution)
     return resolution

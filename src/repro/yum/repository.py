@@ -8,6 +8,16 @@ several repositories offer a package name, only repositories with the best
 (numerically lowest) priority for that name contribute candidates — this is
 what stops the base OS from shadowing the XSEDE builds (and is ablated in
 ``benchmarks/bench_ablation_priorities.py``).
+
+Hot-path queries are served from *capability indexes* (the move yum itself
+made when it swapped scan-based depsolving for libsolv): each repository
+keeps inverted maps — provides-name → packages, obsoleted-name → packages —
+built lazily and invalidated by a monotonic mutation epoch (``revision``),
+so :meth:`Repository.providers_of` is a dict lookup instead of a walk over
+every published NEVRA.  The pre-index scan implementations are retained as
+``_scan_*`` reference oracles; the hypothesis suite in
+``tests/test_perf_indexes.py`` checks they agree under random mutation.
+See ``docs/PERF.md`` for the invalidation rules.
 """
 
 from __future__ import annotations
@@ -48,7 +58,20 @@ class Repository:
         self.priority = priority
         self.enabled = enabled
         self._packages: dict[str, list[Package]] = {}
+        #: monotonic mutation epoch — bumped on every add/remove; all lazy
+        #: indexes and downstream caches key their validity on it.
         self.revision = 0
+        self._index_epoch = -1
+        self._provides_index: dict[str, list[Package]] = {}
+        self._obsoletes_index: dict[str, list[Package]] = {}
+        self._checksum_epoch = -1
+        self._checksum = ""
+
+    @property
+    def epoch(self) -> int:
+        """The mutation epoch (alias of ``revision``): changes iff content
+        changed, so ``epoch`` equality proves every index/cache is fresh."""
+        return self.revision
 
     # -- publishing ----------------------------------------------------------
 
@@ -79,6 +102,24 @@ class Repository:
                     return
         raise PackageNotFoundError(f"repo {self.repo_id}: no such NEVRA {nevra}")
 
+    # -- capability indexes ---------------------------------------------------
+
+    def _ensure_index(self) -> None:
+        """(Re)build the inverted capability maps iff the epoch moved."""
+        if self._index_epoch == self.revision:
+            return
+        provides: dict[str, list[Package]] = {}
+        obsoletes: dict[str, list[Package]] = {}
+        for versions in self._packages.values():
+            for pkg in versions:
+                for cap in pkg.all_provides():
+                    provides.setdefault(cap.name, []).append(pkg)
+                for obs in pkg.obsoletes:
+                    obsoletes.setdefault(obs.name, []).append(pkg)
+        self._provides_index = provides
+        self._obsoletes_index = obsoletes
+        self._index_epoch = self.revision
+
     # -- queries ---------------------------------------------------------------
 
     def names(self) -> set[str]:
@@ -88,6 +129,16 @@ class Repository:
     def versions_of(self, name: str) -> list[Package]:
         """All published versions of a name, oldest first."""
         return list(self._packages.get(name, []))
+
+    def _scan_versions_of(self, name: str) -> list[Package]:
+        """Reference oracle for :meth:`versions_of`: full walk, no dict."""
+        out = [
+            p
+            for versions in self._packages.values()
+            for p in versions
+            if p.name == name
+        ]
+        return sorted(out, key=lambda p: p.evr)
 
     def latest(self, name: str) -> Package:
         """Newest published version of a name."""
@@ -102,10 +153,42 @@ class Repository:
         return name in self._packages
 
     def providers_of(self, req: Requirement) -> list[Package]:
-        """Every published package satisfying ``req``."""
+        """Every published package satisfying ``req`` (index lookup)."""
+        self._ensure_index()
+        candidates = self._provides_index.get(req.name)
+        if not candidates:
+            return []
+        out = [p for p in candidates if p.satisfies(req)]
+        return sorted(out, key=lambda p: (p.name, p.evr))
+
+    def _scan_providers_of(self, req: Requirement) -> list[Package]:
+        """Reference oracle for :meth:`providers_of`: the pre-index scan."""
         out = []
         for versions in self._packages.values():
             out.extend(p for p in versions if p.satisfies(req))
+        return sorted(out, key=lambda p: (p.name, p.evr))
+
+    def obsoleters_of(self, target: Package) -> list[Package]:
+        """Published packages (other than ``target``'s name) that obsolete
+        ``target`` — the update path's obsoletes scan, as an index lookup."""
+        self._ensure_index()
+        candidates = self._obsoletes_index.get(target.name)
+        if not candidates:
+            return []
+        out = [
+            p
+            for p in candidates
+            if p.name != target.name and p.obsoletes_package(target)
+        ]
+        return sorted(out, key=lambda p: (p.name, p.evr))
+
+    def _scan_obsoleters_of(self, target: Package) -> list[Package]:
+        """Reference oracle for :meth:`obsoleters_of`: full catalogue walk."""
+        out = [
+            p
+            for p in self.all_packages()
+            if p.name != target.name and p.obsoletes_package(target)
+        ]
         return sorted(out, key=lambda p: (p.name, p.evr))
 
     def all_packages(self) -> list[Package]:
@@ -125,11 +208,16 @@ class Repository:
 
     def repomd_checksum(self) -> str:
         """Stable fingerprint of the current metadata (changes iff content
-        changes) — what a mirror compares to decide whether to resync."""
-        digest = hashlib.sha256()
-        for pkg in self.all_packages():
-            digest.update(pkg.nevra.encode())
-        return digest.hexdigest()
+        changes) — what a mirror compares to decide whether to resync.
+        Memoised per epoch, so repeated probes of an unchanged repo are
+        O(1) instead of re-hashing every NEVRA."""
+        if self._checksum_epoch != self.revision:
+            digest = hashlib.sha256()
+            for pkg in self.all_packages():
+                digest.update(pkg.nevra.encode())
+            self._checksum = digest.hexdigest()
+            self._checksum_epoch = self.revision
+        return self._checksum
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Repository {self.repo_id} pkgs={self.package_count()}>"
@@ -143,11 +231,20 @@ class RepoSet:
     name contribute.  With the plugin disabled (``use_priorities=False``),
     all enabled repositories contribute and the newest EVR wins regardless of
     origin — the failure mode the ablation bench demonstrates.
+
+    Query results are memoised per :attr:`epoch` — a composite fingerprint of
+    (repo id, content checksum, enabled, priority) across member repos — so
+    repeated candidate/provider lookups during a dependency closure are dict
+    hits.  Mutating a member repo (or toggling ``enabled``/``priority``)
+    changes the fingerprint and drops every derived cache on the next query.
     """
 
     def __init__(self, repos: list[Repository] | None = None, *, use_priorities: bool = True):
         self._repos: dict[str, Repository] = {}
         self.use_priorities = use_priorities
+        self._cache_epoch: tuple | None = None
+        self._candidates_cache: dict[str, list[Package]] = {}
+        self._derived_caches: dict[str, dict] = {}
         for repo in repos or []:
             self.add_repo(repo)
 
@@ -180,10 +277,63 @@ class RepoSet:
             (r.repo_id, r.priority, r.package_count()) for r in self.enabled_repos()
         ]
 
+    # -- cache management ---------------------------------------------------------
+
+    @property
+    def epoch(self) -> tuple:
+        """Content-addressed fingerprint of the whole configuration.
+
+        Two RepoSets with equal epochs resolve identically: the tuple pins
+        each member's id, content checksum (memoised per repo revision),
+        enabled flag and priority, plus the plugin switch.  Downstream
+        caches (``best_provider`` memo, the depsolver resolution cache) key
+        on it — see docs/PERF.md.
+        """
+        return (
+            self.use_priorities,
+            tuple(
+                (rid, r.repomd_checksum(), r.enabled, r.priority)
+                for rid, r in sorted(self._repos.items())
+            ),
+        )
+
+    def _ensure_cache(self) -> tuple:
+        """Drop every derived cache if the configuration moved; returns the
+        current epoch."""
+        epoch = self.epoch
+        if epoch != self._cache_epoch:
+            self._cache_epoch = epoch
+            self._candidates_cache = {}
+            self._derived_caches = {}
+        return epoch
+
+    def cache(self, namespace: str) -> dict:
+        """A derived-result cache dict that auto-clears on epoch change.
+
+        Helpers that memoise per-RepoSet results (the depsolver's
+        ``best_provider``) ask for a namespaced dict here instead of
+        maintaining their own invalidation protocol.
+        """
+        self._ensure_cache()
+        cache = self._derived_caches.get(namespace)
+        if cache is None:
+            cache = self._derived_caches[namespace] = {}
+        return cache
+
     # -- candidate selection -----------------------------------------------------
 
     def candidates_by_name(self, name: str) -> list[Package]:
         """All candidate versions of ``name`` after priority filtering."""
+        self._ensure_cache()
+        hit = self._candidates_cache.get(name)
+        if hit is not None:
+            return list(hit)
+        result = self._scan_candidates_by_name(name)
+        self._candidates_cache[name] = result
+        return list(result)
+
+    def _scan_candidates_by_name(self, name: str) -> list[Package]:
+        """Uncached candidate selection (also the memo's fill path)."""
         offering = [r for r in self.enabled_repos() if r.has(name)]
         if not offering:
             return []
@@ -208,6 +358,10 @@ class RepoSet:
 
     def providers_of(self, req: Requirement) -> list[Package]:
         """All candidates satisfying ``req``, priority-filtered per name."""
+        cache = self.cache("providers_of")
+        hit = cache.get(req)
+        if hit is not None:
+            return list(hit)
         names: set[str] = set()
         for repo in self.enabled_repos():
             for pkg in repo.providers_of(req):
@@ -215,6 +369,20 @@ class RepoSet:
         out: list[Package] = []
         for name in sorted(names):
             out.extend(p for p in self.candidates_by_name(name) if p.satisfies(req))
+        cache[req] = out
+        return list(out)
+
+    def _scan_providers_of(self, req: Requirement) -> list[Package]:
+        """Reference oracle for :meth:`providers_of`: uncached, scan-based."""
+        names: set[str] = set()
+        for repo in self.enabled_repos():
+            for pkg in repo._scan_providers_of(req):
+                names.add(pkg.name)
+        out: list[Package] = []
+        for name in sorted(names):
+            out.extend(
+                p for p in self._scan_candidates_by_name(name) if p.satisfies(req)
+            )
         return out
 
     def all_names(self) -> set[str]:

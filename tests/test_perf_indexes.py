@@ -1,0 +1,294 @@
+"""Property tests: indexed query paths vs the retained ``_scan_*`` oracles.
+
+The hot-path overhaul gave Repository / RepoSet / RpmDatabase inverted
+capability indexes with lazy build and epoch-based invalidation, keeping
+every pre-index implementation as a ``_scan_*`` reference method.  These
+tests drive random add/remove/install/erase sequences through each
+container and compare the indexed answers against the scans *after every
+mutation* — a stale index (missed invalidation, missed discard) diverges
+here.  The same idea pins the batched ``run_until`` against one-at-a-time
+stepping.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PackageNotFoundError, TraceError, YumError
+from repro.rpm import Capability, Flag, Package, Requirement
+from repro.yum import RepoSet, Repository
+
+NAMES = ["alpha", "bravo", "charlie", "delta"]
+CAPS = ["mpi-impl", "libfoo.so", "batch-system"]
+
+
+def _package(name_i, version_i, cap_i, obsoletes_i):
+    kw = {}
+    if cap_i is not None:
+        kw["provides"] = (Capability(CAPS[cap_i]),)
+    if obsoletes_i is not None and NAMES[obsoletes_i] != NAMES[name_i]:
+        kw["obsoletes"] = (Requirement(NAMES[obsoletes_i]),)
+    return Package(NAMES[name_i], f"{version_i}.0", **kw)
+
+
+packages = st.builds(
+    _package,
+    st.integers(0, len(NAMES) - 1),
+    st.integers(1, 3),
+    st.one_of(st.none(), st.integers(0, len(CAPS) - 1)),
+    st.one_of(st.none(), st.integers(0, len(NAMES) - 1)),
+)
+
+edit_sequences = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), packages), min_size=1, max_size=12
+)
+
+QUERIES = [Requirement(n) for n in NAMES + CAPS] + [
+    Requirement("alpha", Flag.GE, "2.0"),
+    Requirement("bravo", Flag.LT, "3.0"),
+]
+
+
+_MACHINE = None
+
+
+def _machine():
+    """One shared hardware build; the db tests create fresh Hosts on it."""
+    global _MACHINE
+    if _MACHINE is None:
+        from repro.hardware import build_littlefe_modified
+
+        _MACHINE = build_littlefe_modified().machine
+    return _MACHINE
+
+
+def _apply(repo, action, pkg):
+    try:
+        if action == "add":
+            repo.add(pkg)
+        else:
+            repo.remove(pkg.nevra)
+    except (YumError, PackageNotFoundError):
+        pass  # duplicate add / missing remove: legal no-ops for this test
+
+
+class TestRepositoryIndex:
+    @given(edit_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_queries_match_scans_under_mutation(self, edits):
+        repo = Repository("r")
+        for action, pkg in edits:
+            _apply(repo, action, pkg)
+            for req in QUERIES:
+                assert repo.providers_of(req) == repo._scan_providers_of(req)
+            for name in NAMES:
+                assert repo.versions_of(name) == repo._scan_versions_of(name)
+            for target in repo.all_packages():
+                assert repo.obsoleters_of(target) == repo._scan_obsoleters_of(target)
+
+    def test_epoch_advances_on_every_mutation(self):
+        repo = Repository("r")
+        e0 = repo.epoch
+        repo.add(Package("alpha", "1.0"))
+        e1 = repo.epoch
+        repo.remove("alpha-1.0-1.x86_64")
+        assert e0 < e1 < repo.epoch
+
+
+class TestRepoSetIndex:
+    @given(edit_sequences, edit_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_queries_match_scans_under_mutation(self, base_edits, xsede_edits):
+        base = Repository("base", priority=90)
+        xsede = Repository("xsede", priority=50)
+        repos = RepoSet([base, xsede])
+        script = [(base, a, p) for a, p in base_edits] + [
+            (xsede, a, p) for a, p in xsede_edits
+        ]
+        for repo, action, pkg in script:
+            _apply(repo, action, pkg)
+            for req in QUERIES:
+                assert repos.providers_of(req) == repos._scan_providers_of(req)
+            for name in NAMES:
+                assert repos.candidates_by_name(name) == repos._scan_candidates_by_name(
+                    name
+                )
+
+    def test_epoch_is_content_addressed_across_instances(self):
+        """Two RepoSets over repos with identical content share an epoch —
+        the property that lets the resolution cache hit across the fresh
+        per-node RepoSet the Rocks installer builds."""
+        one = Repository("xsede", priority=50)
+        two = Repository("xsede", priority=50)
+        for repo in (one, two):
+            repo.add(Package("alpha", "1.0"))
+        assert RepoSet([one]).epoch == RepoSet([two]).epoch
+        two.add(Package("bravo", "1.0"))
+        assert RepoSet([one]).epoch != RepoSet([two]).epoch
+
+    def test_cache_namespace_cleared_on_epoch_change(self):
+        repo = Repository("r")
+        repo.add(Package("alpha", "1.0"))
+        repos = RepoSet([repo])
+        repos.cache("probe")["key"] = "value"
+        assert repos.cache("probe")["key"] == "value"
+        repo.add(Package("bravo", "1.0"))
+        assert "key" not in repos.cache("probe")
+
+
+class TestRpmDatabaseIndex:
+    @given(edit_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_queries_match_scans_under_mutation(self, edits):
+        from repro.distro import CENTOS_6_5, Host
+        from repro.rpm import RpmDatabase
+
+        db = RpmDatabase(Host(_machine().head, CENTOS_6_5))
+        for action, pkg in edits:
+            try:
+                if action == "add":
+                    db._install_unchecked(pkg)
+                else:
+                    db._erase_unchecked(pkg.name)
+            except Exception:
+                pass  # duplicate install / missing erase
+            for req in QUERIES:
+                assert db.providers_of(req) == db._scan_providers_of(req)
+                assert db.is_satisfied(req) == db._scan_is_satisfied(req)
+
+    def test_fingerprint_tracks_content_not_identity(self, littlefe_machine):
+        from repro.distro import CENTOS_6_5, Host
+        from repro.rpm import RpmDatabase
+
+        a = RpmDatabase(Host(littlefe_machine.head, CENTOS_6_5))
+        b = RpmDatabase(Host(littlefe_machine.head, CENTOS_6_5))
+        assert a.fingerprint() == b.fingerprint()
+        a._install_unchecked(Package("alpha", "1.0"))
+        assert a.fingerprint() != b.fingerprint()
+        b._install_unchecked(Package("alpha", "1.0"))
+        assert a.fingerprint() == b.fingerprint()
+
+
+# --- batched run_until ≡ one-at-a-time stepping ----------------------------------
+
+schedules = st.lists(
+    st.integers(min_value=0, max_value=5),  # coarse times -> many collisions
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(schedules, st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_run_until_matches_stepping(times, seed):
+    """The batched drain fires the same events in the same order at the
+    same clock readings as step(), including same-timestamp pile-ups and
+    events scheduled (or cancelled) from inside callbacks."""
+    from repro.sim import SimKernel
+
+    def build():
+        kernel = SimKernel(seed=seed)
+        log = []
+        handles = []
+
+        def fire(i, t):
+            log.append((i, kernel.now_s))
+            if i % 3 == 0:
+                kernel.at(kernel.now_s, lambda: log.append((f"child-{i}", kernel.now_s)))
+            if i % 4 == 1 and handles:
+                victim = handles.pop()
+                if victim.active:
+                    kernel.cancel(victim)
+
+        for i, t in enumerate(times):
+            handles.append(kernel.at(float(t), lambda i=i, t=t: fire(i, t)))
+        return kernel, log
+
+    batched_kernel, batched_log = build()
+    fired = batched_kernel.run_until(10.0)
+
+    stepped_kernel, stepped_log = build()
+    stepped = 0
+    while True:
+        head = stepped_kernel.peek_time_s()
+        if head is None or head > 10.0:
+            break
+        stepped_kernel.step()
+        stepped += 1
+    stepped_kernel.clock.advance_to(10.0)
+
+    assert batched_log == stepped_log
+    assert fired == stepped
+    assert batched_kernel.now_s == stepped_kernel.now_s == 10.0
+
+
+def test_run_until_callback_exception_restores_queue():
+    """If a batch member raises, the unfired remainder goes back on the
+    heap with its original (time, seq) identity."""
+    from repro.sim import SimKernel
+
+    kernel = SimKernel()
+    log = []
+    kernel.at(1.0, lambda: log.append("a"))
+
+    def boom():
+        raise RuntimeError("boom")
+
+    kernel.at(1.0, boom)
+    kernel.at(1.0, lambda: log.append("c"))
+    with pytest.raises(RuntimeError):
+        kernel.run_until(5.0)
+    assert log == ["a"]
+    # "c" is still pending and fires on the next drain, before later events.
+    kernel.at(1.0, lambda: log.append("d"))
+    kernel.run_until(5.0)
+    assert log == ["a", "c", "d"]
+
+
+# --- trace-bus shape cache --------------------------------------------------------
+
+
+class TestTraceShapeCache:
+    def test_fast_path_jsonl_identical_to_strict(self):
+        from repro.sim import TraceBus
+
+        def fill(bus):
+            for i in range(50):
+                bus.emit(
+                    "metric.sample", t_s=float(i), subsystem="mon",
+                    host=f"h{i % 3}", metric="load_one", value=float(i),
+                )
+                if i % 10 == 0:
+                    bus.emit("job.cancel", t_s=float(i), subsystem="sched", job=f"j{i}")
+
+        fast, strict = TraceBus(), TraceBus(strict=True)
+        fill(fast)
+        fill(strict)
+        assert fast.to_jsonl() == strict.to_jsonl()
+        assert fast.by_kind == strict.by_kind
+
+    def test_new_shape_for_known_kind_is_revalidated(self):
+        from repro.sim import TraceBus
+
+        bus = TraceBus()
+        bus.emit(
+            "metric.sample", t_s=0.0, subsystem="mon",
+            host="h0", metric="load_one", value=1.0,
+        )
+        # Same kind, different key set missing a required field: the shape
+        # memo must not let it through.
+        with pytest.raises(TraceError, match="missing data field"):
+            bus.emit("metric.sample", t_s=1.0, subsystem="mon", host="h0", value=1.0)
+        # And the failed shape is not remembered as valid.
+        with pytest.raises(TraceError):
+            bus.emit("metric.sample", t_s=2.0, subsystem="mon", host="h0", value=1.0)
+
+    def test_extra_fields_still_validated_for_types(self):
+        from repro.sim import TraceBus
+
+        bus = TraceBus()
+        with pytest.raises(TraceError, match="wanted float"):
+            bus.emit(
+                "metric.sample", t_s=0.0, subsystem="mon",
+                host="h0", metric="load_one", value="high",
+            )
