@@ -35,7 +35,12 @@ __all__ = [
     "HardwarePlan",
     "AnalysisResult",
     "analyze",
+    "analyze_source",
+    "SimlintConfig",
+    "render_sarif",
+    "check_trace",
     "main",
+    "main_simlint",
 ]
 
 #: Lazy attribute -> (module, name).  Keeps ``import repro.analyze.diagnostic``
@@ -46,7 +51,12 @@ _LAZY = {
     "HardwarePlan": ("repro.analyze.spec", "HardwarePlan"),
     "AnalysisResult": ("repro.analyze.engine", "AnalysisResult"),
     "analyze": ("repro.analyze.engine", "analyze"),
+    "analyze_source": ("repro.analyze.source", "analyze_source"),
+    "SimlintConfig": ("repro.analyze.source", "SimlintConfig"),
+    "render_sarif": ("repro.analyze.sarif", "render_sarif"),
+    "check_trace": ("repro.analyze.passes.source_traceorder", "check_trace"),
     "main": ("repro.analyze.cli", "main"),
+    "main_simlint": ("repro.analyze.cli", "main_simlint"),
 }
 
 

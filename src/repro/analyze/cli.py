@@ -1,10 +1,20 @@
-"""The ``cluster-lint`` command line: lint cluster-definition files.
+"""The ``cluster-lint`` / ``simlint`` command line.
 
-A definition file is any Python file exposing either a zero-argument
-``cluster_definition()`` callable or a module-level ``DEFINITION`` object
-returning/holding a :class:`~repro.analyze.spec.ClusterDefinition` — every
-file under ``examples/`` does.  Exit codes follow linter convention so CI
-can gate directly on the process status:
+Two modes share one flag surface, one rule registry, and one exit-code
+contract:
+
+* **definition mode** (default) lints cluster-definition files — any
+  Python file exposing a zero-argument ``cluster_definition()`` callable
+  or a module-level ``DEFINITION`` holding a
+  :class:`~repro.analyze.spec.ClusterDefinition`; every file under
+  ``examples/`` does.
+* **source mode** (``--source``, or the ``simlint`` console script) runs
+  the ``SL*`` rules over Python source trees (default: ``src/repro``),
+  honouring ``[tool.simlint]`` per-path opt-outs from ``pyproject.toml``
+  and optionally replaying a trace JSONL (``--check-trace``).
+
+Exit codes follow linter convention so CI can gate directly on the
+process status:
 
 * ``0`` — no finding at/above the failure threshold (default: error);
 * ``1`` — at least one gating finding;
@@ -24,7 +34,7 @@ from .engine import AnalysisResult, analyze
 from .registry import RULES, AnalysisConfig, Baseline
 from .spec import ClusterDefinition
 
-__all__ = ["main", "load_definitions"]
+__all__ = ["main", "main_simlint", "load_definitions"]
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -89,16 +99,32 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
-def _build_parser() -> argparse.ArgumentParser:
+def _build_parser(prog: str = "cluster-lint") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="cluster-lint",
-        description="Pre-flight static analysis of cluster definitions.",
+        prog=prog,
+        description=(
+            "Pre-flight static analysis of cluster definitions, or (with "
+            "--source) of the repro source tree itself."
+        ),
     )
     parser.add_argument(
-        "files", nargs="*", help="Python files exposing cluster_definition()"
+        "files",
+        nargs="*",
+        help=(
+            "definition files exposing cluster_definition(); with --source, "
+            "Python files/directories to lint (default: src/repro)"
+        ),
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="format_"
+        "--source",
+        action="store_true",
+        help="run the SL* source rules (simlint) instead of definition passes",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        dest="format_",
     )
     parser.add_argument(
         "--only", default="", help="comma-separated rule codes to run exclusively"
@@ -122,6 +148,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write current findings to PATH as a baseline and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "rewrite the --baseline file without entries whose rule code no "
+            "longer exists, then continue with the pruned baseline"
+        ),
+    )
+    parser.add_argument(
+        "--check-trace",
+        default="",
+        metavar="PATH",
+        help=(
+            "(source mode) replay a trace JSONL with same-timestamp events "
+            "permuted and verify it is byte-reproducible (SL302/SL303)"
+        ),
+    )
+    parser.add_argument(
+        "--pyproject",
+        default="pyproject.toml",
+        metavar="PATH",
+        help=(
+            "(source mode) pyproject file holding the [tool.simlint] "
+            "per-path opt-outs (default: pyproject.toml)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
     return parser
@@ -131,17 +183,29 @@ def _parse_codes(raw: str) -> frozenset[str]:
     return frozenset(c.strip() for c in raw.split(",") if c.strip())
 
 
-def main(argv: list[str] | None = None, *, stdout=None) -> int:
+#: Default lint target in source mode when no paths are given.
+_SOURCE_DEFAULT = "src/repro"
+
+
+def main(
+    argv: list[str] | None = None, *, stdout=None, prog: str = "cluster-lint"
+) -> int:
     out = stdout or sys.stdout
-    parser = _build_parser()
+    parser = _build_parser(prog)
     args = parser.parse_args(argv)
 
     if args.list_rules:
         print(_list_rules(), file=out)
         return EXIT_CLEAN
-    if not args.files:
+    if not args.files and not args.source:
         parser.print_usage(out)
-        print("cluster-lint: error: no definition files given", file=out)
+        print(f"{prog}: error: no definition files given", file=out)
+        return EXIT_USAGE
+    if args.check_trace and not args.source:
+        print(f"{prog}: error: --check-trace requires --source", file=out)
+        return EXIT_USAGE
+    if args.prune_baseline and not args.baseline:
+        print(f"{prog}: error: --prune-baseline requires --baseline", file=out)
         return EXIT_USAGE
 
     unknown = [
@@ -149,7 +213,7 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
         if c not in RULES
     ]
     if unknown:
-        print(f"cluster-lint: error: unknown rule code(s): {sorted(unknown)}", file=out)
+        print(f"{prog}: error: unknown rule code(s): {sorted(unknown)}", file=out)
         return EXIT_USAGE
 
     if args.fail_on == "never":
@@ -172,20 +236,78 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
                 pathlib.Path(args.baseline).read_text()
             )
         except (OSError, ValueError, json.JSONDecodeError) as exc:
-            print(f"cluster-lint: error: bad baseline: {exc}", file=out)
+            print(f"{prog}: error: bad baseline: {exc}", file=out)
             return EXIT_USAGE
+        stale = baseline.stale_fingerprints()
+        # keep machine-readable stdout (json/sarif) clean: route the
+        # warnings to stderr there, to the report stream otherwise
+        warn_stream = sys.stderr if args.format_ != "text" else out
+        for fingerprint in stale:
+            print(
+                f"{prog}: warning: baseline entry {fingerprint} references "
+                f"a rule that no longer exists (stale)",
+                file=warn_stream,
+            )
+        if args.prune_baseline:
+            baseline, dropped = baseline.pruned()
+            pathlib.Path(args.baseline).write_text(baseline.to_text())
+            print(
+                f"{prog}: pruned {len(dropped)} stale suppression(s) from "
+                f"{args.baseline}",
+                file=out,
+            )
 
     results: list[AnalysisResult] = []
-    for path in args.files:
+    if args.source:
+        from .source import SimlintConfig, analyze_source
+
         try:
-            definitions = load_definitions(path)
-        except DefinitionLoadError as exc:
-            print(f"cluster-lint: error: {exc}", file=out)
+            simlint_config = SimlintConfig.from_pyproject(args.pyproject)
+        except (ValueError, OSError) as exc:
+            print(f"{prog}: error: bad [tool.simlint] config: {exc}", file=out)
             return EXIT_USAGE
-        for definition in definitions:
-            results.append(
-                analyze(definition, config=config, baseline=baseline)
+        paths = args.files or [_SOURCE_DEFAULT]
+        results.append(
+            analyze_source(
+                paths,
+                config=config,
+                simlint=simlint_config,
+                baseline=baseline,
             )
+        )
+        if args.check_trace:
+            from .passes.source_traceorder import check_trace
+
+            trace_path = pathlib.Path(args.check_trace)
+            try:
+                text = trace_path.read_text()
+            except OSError as exc:
+                print(f"{prog}: error: cannot read trace: {exc}", file=out)
+                return EXIT_USAGE
+            trace_diags = check_trace(text, location=str(trace_path))
+            if baseline is not None:
+                kept, suppressed = baseline.split(trace_diags)
+            else:
+                kept, suppressed = trace_diags, []
+            results.append(
+                AnalysisResult(
+                    definition_name=f"trace:{trace_path}",
+                    diagnostics=kept,
+                    suppressed=suppressed,
+                    fail_on=config.fail_on,
+                )
+            )
+    else:
+        for path in args.files:
+            try:
+                definitions = load_definitions(path)
+            except DefinitionLoadError as exc:
+                print(f"{prog}: error: {exc}", file=out)
+                return EXIT_USAGE
+            for definition in definitions:
+                results.append(
+                    analyze(definition, config=config, baseline=baseline)
+                )
 
     if args.write_baseline:
         merged = Baseline()
@@ -194,7 +316,7 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
                 merged.add(diag, "accepted by --write-baseline")
         pathlib.Path(args.write_baseline).write_text(merged.to_text())
         print(
-            f"cluster-lint: wrote {len(merged.suppressions)} suppression(s) "
+            f"{prog}: wrote {len(merged.suppressions)} suppression(s) "
             f"to {args.write_baseline}",
             file=out,
         )
@@ -206,6 +328,18 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
             "results": [r.to_dict() for r in results],
         }
         print(json.dumps(document, indent=2), file=out)
+    elif args.format_ == "sarif":
+        from .sarif import render_sarif
+
+        reasons = dict(baseline.suppressions) if baseline is not None else {}
+        print(
+            render_sarif(
+                results,
+                tool_name="simlint" if args.source else prog,
+                suppression_reasons=reasons,
+            ),
+            file=out,
+        )
     else:
         for result in results:
             print(result.render_text(), file=out)
@@ -215,3 +349,9 @@ def main(argv: list[str] | None = None, *, stdout=None) -> int:
     return (
         EXIT_FINDINGS if any(r.failed for r in results) else EXIT_CLEAN
     )
+
+
+def main_simlint(argv: list[str] | None = None, *, stdout=None) -> int:
+    """Entry point for the ``simlint`` console script: source mode on."""
+    return main(["--source", *(argv if argv is not None else sys.argv[1:])],
+                stdout=stdout, prog="simlint")

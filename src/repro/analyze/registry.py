@@ -139,6 +139,35 @@ class Baseline:
         suppressed = [d for d in diagnostics if self.matches(d)]
         return kept, suppressed
 
+    # -- staleness ---------------------------------------------------------
+
+    def stale_fingerprints(
+        self, registry: "RuleRegistry | None" = None
+    ) -> list[str]:
+        """Fingerprints whose rule code no longer exists in ``registry``.
+
+        A stale entry can never match a diagnostic again — it is dead
+        weight that hides the fact the debt it recorded was retired (or the
+        rule renamed).  The CLI warns about these on load and
+        ``--prune-baseline`` rewrites the file without them.
+        """
+        reg = RULES if registry is None else registry
+        return sorted(
+            fp for fp in self.suppressions if fp.split("@", 1)[0] not in reg
+        )
+
+    def pruned(
+        self, registry: "RuleRegistry | None" = None
+    ) -> tuple["Baseline", list[str]]:
+        """A copy without stale entries, plus the fingerprints dropped."""
+        stale = set(self.stale_fingerprints(registry))
+        kept = {
+            fp: reason
+            for fp, reason in self.suppressions.items()
+            if fp not in stale
+        }
+        return Baseline(suppressions=kept), sorted(stale)
+
     # -- serialisation -----------------------------------------------------
 
     def to_text(self) -> str:

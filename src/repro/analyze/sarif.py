@@ -1,0 +1,142 @@
+"""SARIF 2.1.0 rendering for analysis results.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs — GitHub code scanning first among them — ingest natively, so the CI
+``source-lint`` gate can upload its findings instead of burying them in a
+job log.  One :class:`~repro.analyze.engine.AnalysisResult` becomes one
+``run``; baseline-suppressed diagnostics are carried along with an
+``external`` suppression record rather than dropped, which is how SARIF
+viewers distinguish "accepted debt" from "clean".
+
+Only the fields consumers actually read are emitted: the tool driver with
+the referenced rule metadata, and per-result rule id, level, message, and
+physical location (parsed from the ``path:line`` convention used by source
+diagnostics; definition diagnostics with logical locations like
+``node/c01`` are emitted as a logical location instead).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from .diagnostic import Diagnostic, Severity
+from .engine import AnalysisResult
+from .registry import RULES
+
+__all__ = ["render_sarif", "SARIF_VERSION", "SARIF_SCHEMA_URI"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: severity -> SARIF result level
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+#: ``path:line`` — the location convention source passes emit.
+_PHYSICAL = re.compile(r"^(?P<uri>[^:]+\.py):(?P<line>\d+)$")
+
+
+def _location(diag: Diagnostic) -> list[dict]:
+    if not diag.location:
+        return []
+    match = _PHYSICAL.match(diag.location)
+    if match:
+        return [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": match.group("uri")},
+                    "region": {"startLine": int(match.group("line"))},
+                }
+            }
+        ]
+    return [
+        {
+            "logicalLocations": [
+                {"fullyQualifiedName": diag.location}
+            ]
+        }
+    ]
+
+
+def _result(diag: Diagnostic, *, suppressed: bool, reason: str = "") -> dict:
+    result: dict = {
+        "ruleId": diag.code,
+        "level": _LEVELS[diag.severity],
+        "message": {"text": diag.message},
+        "locations": _location(diag),
+        "partialFingerprints": {"reproAnalyze/v1": diag.fingerprint},
+    }
+    if suppressed:
+        suppression: dict = {"kind": "external"}
+        if reason:
+            suppression["justification"] = reason
+        result["suppressions"] = [suppression]
+    return result
+
+
+def _rule_metadata(codes: set[str]) -> list[dict]:
+    out = []
+    for code in sorted(codes):
+        declared = RULES.get(code)
+        entry: dict = {
+            "id": declared.code,
+            "shortDescription": {"text": declared.summary},
+            "defaultConfiguration": {"level": _LEVELS[declared.severity]},
+            "properties": {"subsystem": declared.subsystem},
+        }
+        if declared.hint:
+            entry["help"] = {"text": declared.hint}
+        out.append(entry)
+    return out
+
+
+def render_sarif(
+    results: list[AnalysisResult],
+    *,
+    tool_name: str = "simlint",
+    suppression_reasons: dict[str, str] | None = None,
+) -> str:
+    """Render analysis results as a SARIF 2.1.0 document (one run each).
+
+    ``suppression_reasons`` maps diagnostic fingerprints to the baseline
+    reason, surfaced as the SARIF suppression justification.
+    """
+    reasons = suppression_reasons or {}
+    runs = []
+    for result in results:
+        referenced = {d.code for d in result.diagnostics} | {
+            d.code for d in result.suppressed
+        }
+        runs.append(
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": "docs/ANALYZE.md",
+                        "rules": _rule_metadata(referenced),
+                    }
+                },
+                "automationDetails": {"id": result.definition_name},
+                "results": [
+                    _result(d, suppressed=False) for d in result.diagnostics
+                ]
+                + [
+                    _result(
+                        d,
+                        suppressed=True,
+                        reason=reasons.get(d.fingerprint, ""),
+                    )
+                    for d in result.suppressed
+                ],
+            }
+        )
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": runs,
+    }
+    return json.dumps(document, indent=2)

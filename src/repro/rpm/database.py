@@ -11,6 +11,11 @@ Every mutation bumps a monotonic :attr:`epoch`; the index is kept current
 incrementally once built, and downstream caches (the depsolver's resolution
 cache) key on ``(host, epoch)`` or on :meth:`fingerprint` to stay sound.
 The pre-index scans survive as ``_scan_*`` reference oracles.
+
+The bump discipline is machine-checked: simlint's SL201 walks every
+method of this class path-sensitively and flags any route that mutates
+indexed state without bumping :attr:`epoch` (or syncing a validity
+marker, or raising).  See docs/ANALYZE.md.
 """
 
 from __future__ import annotations

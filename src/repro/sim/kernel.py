@@ -8,7 +8,11 @@ everything that happens is published on :attr:`trace`.
 
 Determinism contract: given the same seed and the same sequence of
 schedule calls, two kernels fire the same events at the same times in the
-same order and produce byte-identical JSONL traces.
+same order and produce byte-identical JSONL traces.  The contract's
+source-side obligations — no wall-clock reads (SL101), no process-global
+randomness (SL102), no unordered iteration into scheduling (SL104), no
+same-time callbacks racing on shared state (SL301) — are checked
+statically by simlint (docs/ANALYZE.md).
 """
 
 from __future__ import annotations

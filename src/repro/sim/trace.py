@@ -14,6 +14,12 @@ JSONL envelope (one event per line)::
 ``seq`` is the emission serial, ``t`` the simulated timestamp (per-entity
 timelines may stamp events ahead of the kernel clock, so ``t`` is not
 globally monotonic — ``seq`` is).
+
+simlint enforces this contract statically: SL104 flags unordered
+iteration feeding :meth:`TraceBus.emit`, and
+``python -m repro.analyze --source --check-trace`` replays a trace file
+with same-``t`` batches permuted to verify ``seq`` alone reproduces it
+byte-for-byte (SL302/SL303).  See docs/ANALYZE.md.
 """
 
 from __future__ import annotations

@@ -17,7 +17,9 @@ so :meth:`Repository.providers_of` is a dict lookup instead of a walk over
 every published NEVRA.  The pre-index scan implementations are retained as
 ``_scan_*`` reference oracles; the hypothesis suite in
 ``tests/test_perf_indexes.py`` checks they agree under random mutation.
-See ``docs/PERF.md`` for the invalidation rules.
+See ``docs/PERF.md`` for the invalidation rules; simlint's SL201/SL202
+(docs/ANALYZE.md) enforce them statically — every mutation path must
+bump ``revision`` and every memo must carry an epoch key.
 """
 
 from __future__ import annotations

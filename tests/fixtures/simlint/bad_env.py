@@ -1,0 +1,16 @@
+"""Known-bad fixture: ambient environment reads (SL103)."""
+
+import os
+import uuid
+
+
+def configured_root():
+    return os.environ["REPRO_ROOT"]  # SL103: os.environ read
+
+
+def configured_level():
+    return os.getenv("REPRO_LEVEL", "info")  # SL103: os.getenv
+
+
+def fresh_id():
+    return uuid.uuid4()  # SL103: host-entropy identifier

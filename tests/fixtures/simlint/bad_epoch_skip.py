@@ -1,0 +1,26 @@
+"""Known-bad fixture: mutator skips the epoch bump (SL201).
+
+``PackageIndex`` speaks the epoch protocol (``install`` bumps), so every
+path that mutates an indexed field must either bump, sync a validity
+marker, or raise.  ``sneaky_remove`` and the else-branch of
+``maybe_install`` do none of those.
+"""
+
+
+class PackageIndex:
+    def __init__(self):
+        self._by_name = {}
+        self._epoch = 0
+
+    def install(self, name, pkg):
+        self._by_name[name] = pkg
+        self._epoch += 1
+
+    def sneaky_remove(self, name):  # SL201: mutates, never bumps
+        del self._by_name[name]
+
+    def maybe_install(self, name, pkg, force):
+        self._by_name[name] = pkg
+        if force:
+            self._epoch += 1
+        # SL201: the not-force path falls through with the bump pending

@@ -1,0 +1,19 @@
+"""Known-bad fixture: memoization with no epoch key (SL202)."""
+
+import functools
+from functools import lru_cache
+
+
+class Catalog:
+    def __init__(self, repos):
+        self.repos = repos
+        self._providers_cache = {}  # SL202: memo dict, no epoch marker
+
+    @functools.lru_cache(maxsize=None)  # SL202: unkeyed lru_cache
+    def latest(self, name):
+        return self.repos.latest_by_name(name)
+
+
+@lru_cache
+def resolve(name):  # SL202: module-level unkeyed lru_cache
+    return name.lower()

@@ -1,0 +1,22 @@
+"""Known-bad fixture: process-global / unseeded randomness (SL102)."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random()  # SL102: module-level Mersenne state
+
+
+def pick(options):
+    random.shuffle(options)  # SL102: module-level shuffle
+    return options[0]
+
+
+def make_rng():
+    return random.Random()  # SL102: Random() without a seed
+
+
+def make_np_rng():
+    return np.random.default_rng()  # SL102: default_rng() without a seed

@@ -1,0 +1,20 @@
+"""Known-bad fixture: same-time callbacks racing on one attribute (SL301)."""
+
+
+def schedule(kernel, stats):
+    def from_scheduler():
+        stats.utilization = 0.5
+
+    def from_monitor():
+        stats.utilization = 0.9
+
+    kernel.at(300.0, from_scheduler)  # SL301: both write stats.utilization
+    kernel.at(300.0, from_monitor)
+
+
+def schedule_lambda(kernel, node):
+    def mark_up():
+        node.state = "up"
+
+    kernel.at(60.0, lambda: mark_up())  # SL301: same write via lambda
+    kernel.at(60.0, mark_up)

@@ -1,0 +1,4 @@
+"""Known-bad fixture: does not parse (SL000)."""
+
+def broken(:
+    return

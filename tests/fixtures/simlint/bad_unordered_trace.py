@@ -1,0 +1,31 @@
+"""Known-bad fixture: unordered iteration feeding order sinks (SL104)."""
+
+
+def publish(bus, names):
+    pending = {name for name in names if name}
+    for name in pending:  # SL104: set iteration into bus.emit
+        bus.emit("node.up", t_s=0.0, subsystem="demo", name=name)
+
+
+def schedule_all(kernel, hosts):
+    targets = set(hosts)
+    for host in targets:  # SL104: set iteration into kernel.at
+        kernel.at(5.0, lambda host=host: None)
+
+
+class Sweeper:
+    def __init__(self, members):
+        self.members = set(members)
+
+    def sweep(self, bus):
+        for member in self.members:  # SL104: set-typed attribute
+            bus.emit("sweep", t_s=1.0, subsystem="demo", who=member)
+
+
+def _dirty(names):
+    return set(names)
+
+
+def flush(bus, names):
+    for name in _dirty(names):  # SL104: same-file set-returning helper
+        bus.emit("flush", t_s=2.0, subsystem="demo", name=name)

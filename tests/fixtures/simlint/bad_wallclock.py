@@ -1,0 +1,18 @@
+"""Known-bad fixture: wall-clock reads simulation code must not make (SL101)."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def sample_now(bus):
+    stamp = time.time()  # SL101: wall clock
+    bus.emit("tick", t_s=stamp, subsystem="demo")
+
+
+def aliased_read():
+    return pc()  # SL101: from-import alias of time.perf_counter
+
+
+def report_date():
+    return datetime.now()  # SL101: datetime.datetime.now

@@ -1,0 +1,24 @@
+"""Near-miss fixture: configuration threaded explicitly (SL103)."""
+
+import os
+import uuid
+
+
+def configured_root(config):
+    # an explicit mapping parameter, not the process environment
+    return config["REPRO_ROOT"]
+
+
+def configured_level(config):
+    env = dict(config)
+    return env.get("REPRO_LEVEL", "info")
+
+
+def stable_id(name):
+    # uuid5 is a pure hash of its inputs — deterministic
+    return uuid.uuid5(uuid.NAMESPACE_DNS, name)
+
+
+def join_paths(a, b):
+    # os.path is pure path algebra, not an environment read
+    return os.path.join(a, b)

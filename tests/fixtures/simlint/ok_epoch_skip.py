@@ -1,0 +1,40 @@
+"""Near-miss fixture: every mutation path publishes correctly (SL201)."""
+
+
+class PackageIndex:
+    def __init__(self):
+        self._by_name = {}
+        self._epoch = 0
+        self._index_epoch = -1
+
+    def install(self, name, pkg):
+        self._by_name[name] = pkg
+        self._epoch += 1
+
+    def remove(self, name):
+        if name not in self._by_name:
+            # exceptional exit: nothing was published, nothing to bump
+            raise KeyError(name)
+        del self._by_name[name]
+        self._epoch += 1
+
+    def upsert(self, name, pkg):
+        # private helper owned by a bumping caller — the bump is here
+        self._index_add(name, pkg)
+        self._epoch += 1
+
+    def _index_add(self, name, pkg):
+        self._by_name[name] = pkg
+
+    def _rebuild(self):
+        # cache-refresh shape: mutation closed out by a validity sync
+        self._by_name.clear()
+        self._index_epoch = self._epoch
+
+    def guarded_remove(self, name):
+        try:
+            del self._by_name[name]
+        except KeyError:
+            return False
+        self._epoch += 1
+        return True

@@ -1,0 +1,24 @@
+"""Near-miss fixture: seeded, instance-owned randomness (SL102)."""
+
+import random
+
+import numpy as np
+
+
+def make_rng(seed):
+    return random.Random(seed)  # seeded constructor is the blessed form
+
+
+def make_np_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def jitter(rng):
+    # drawing from an injected instance is fine; only the module-level
+    # API touches hidden process state
+    return rng.random()
+
+
+def pick(rng, options):
+    rng.shuffle(options)
+    return options[0]

@@ -1,0 +1,23 @@
+"""Near-miss fixture: same-time callbacks that cannot race (SL301)."""
+
+
+def schedule_distinct_times(kernel, stats):
+    def from_scheduler():
+        stats.utilization = 0.5
+
+    def from_monitor():
+        stats.utilization = 0.9
+
+    kernel.at(300.0, from_scheduler)
+    kernel.at(600.0, from_monitor)  # different timestamps: ordered by time
+
+
+def schedule_disjoint_state(kernel, stats):
+    def set_load():
+        stats.load = 1.0
+
+    def set_memory():
+        stats.memory = 2.0
+
+    kernel.at(300.0, set_load)  # same time, disjoint attributes
+    kernel.at(300.0, set_memory)

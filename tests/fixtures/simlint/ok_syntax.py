@@ -1,0 +1,7 @@
+"""Near-miss fixture for SL000: a perfectly ordinary module."""
+
+VALUE = 1
+
+
+def fine():
+    return VALUE

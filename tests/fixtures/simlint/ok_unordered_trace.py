@@ -1,0 +1,30 @@
+"""Near-miss fixture: set iteration that is laundered or sink-free (SL104)."""
+
+
+def publish(bus, names):
+    pending = {name for name in names if name}
+    for name in sorted(pending):  # sorted() launders hash order
+        bus.emit("node.up", t_s=0.0, subsystem="demo", name=name)
+
+
+def count(names):
+    pending = set(names)
+    total = 0
+    for name in pending:  # unordered, but feeds no trace/schedule sink
+        total += len(name)
+    return total
+
+
+def publish_list(bus, names):
+    pending = [name for name in names if name]
+    for name in pending:  # a list keeps caller order — deterministic
+        bus.emit("node.up", t_s=0.0, subsystem="demo", name=name)
+
+
+class Sweeper:
+    def __init__(self, members):
+        self.members = sorted(members)
+
+    def sweep(self, bus):
+        for member in self.members:  # sorted at construction
+            bus.emit("sweep", t_s=1.0, subsystem="demo", who=member)

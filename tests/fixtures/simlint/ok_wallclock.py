@@ -1,0 +1,28 @@
+"""Near-miss fixture: looks time-adjacent but reads no wall clock (SL101)."""
+
+import time
+from datetime import datetime
+
+
+def sample_now(kernel, bus):
+    # simulated time, not the host clock
+    bus.emit("tick", t_s=kernel.now_s, subsystem="demo")
+
+
+def pure_conversion(epoch_s):
+    # gmtime with an explicit argument is a pure function of its input
+    return time.gmtime(epoch_s)
+
+
+def parse_stamp(text):
+    # constructing a datetime from data is fine; *reading* the clock is not
+    return datetime.fromisoformat(text)
+
+
+class Timeline:
+    def time(self):  # a method merely *named* time is not time.time
+        return 0.0
+
+
+def drive(timeline):
+    return timeline.time()

@@ -181,3 +181,84 @@ class TestBaselineWorkflow:
         )
         assert proc.returncode == EXIT_FINDINGS
         assert "NET404" in proc.stdout
+
+    def test_stale_entry_warns_on_load(self, tmp_path, broken_file):
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({
+            "schema": "repro.analyze.baseline/v1",
+            "suppressions": [
+                {"fingerprint": "ZZ999@old.py:3", "reason": "retired rule"},
+            ],
+        }))
+        code, output = run_cli(broken_file, "--baseline", str(stale))
+        assert code == EXIT_FINDINGS  # NET404 still gates
+        assert "ZZ999@old.py:3" in output
+        assert "stale" in output
+
+    def test_prune_baseline_drops_stale_keeps_live(self, tmp_path, broken_file):
+        baseline = tmp_path / "baseline.json"
+        run_cli(broken_file, "--write-baseline", str(baseline))
+        doc = json.loads(baseline.read_text())
+        doc["suppressions"].append(
+            {"fingerprint": "ZZ999@old.py:3", "reason": "retired rule"}
+        )
+        baseline.write_text(json.dumps(doc))
+
+        code, output = run_cli(
+            broken_file, "--baseline", str(baseline), "--prune-baseline"
+        )
+        assert code == EXIT_CLEAN  # the live suppression still applies
+        assert "pruned 1 stale suppression(s)" in output
+        pruned = json.loads(baseline.read_text())
+        fingerprints = [s["fingerprint"] for s in pruned["suppressions"]]
+        assert "ZZ999@old.py:3" not in fingerprints
+        assert len(fingerprints) == 1
+
+    def test_prune_baseline_without_baseline_is_usage_error(self, broken_file):
+        code, output = run_cli(broken_file, "--prune-baseline")
+        assert code == EXIT_USAGE
+
+
+class TestSarifFormat:
+    def test_sarif_document_shape(self, broken_file):
+        code, output = run_cli(broken_file, "--format", "sarif")
+        assert code == EXIT_FINDINGS
+        doc = json.loads(output)
+        assert doc["version"] == "2.1.0"
+        assert "sarif-2.1.0" in doc["$schema"]
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "cluster-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "NET404" in rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "NET404"
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+
+    def test_sarif_logical_location_for_definition_findings(self, broken_file):
+        code, output = run_cli(broken_file, "--format", "sarif")
+        doc = json.loads(output)
+        result = doc["runs"][0]["results"][0]
+        # definition findings use logical locations (no path:line form)
+        for location in result["locations"]:
+            assert "logicalLocations" in location or "physicalLocation" in location
+
+    def test_sarif_clean_run_has_no_results(self, clean_file):
+        code, output = run_cli(clean_file, "--format", "sarif")
+        assert code == EXIT_CLEAN
+        doc = json.loads(output)
+        assert doc["runs"][0]["results"] == []
+
+    def test_sarif_carries_baseline_suppressions(self, tmp_path, broken_file):
+        baseline = tmp_path / "baseline.json"
+        run_cli(broken_file, "--write-baseline", str(baseline))
+        code, output = run_cli(
+            broken_file, "--baseline", str(baseline), "--format", "sarif"
+        )
+        assert code == EXIT_CLEAN
+        doc = json.loads(output)
+        results = doc["runs"][0]["results"]
+        assert len(results) == 1
+        suppression = results[0]["suppressions"][0]
+        assert suppression["kind"] == "external"
+        assert suppression["justification"] == "accepted by --write-baseline"

@@ -1,0 +1,186 @@
+"""Property test: SL201's static verdict agrees with runtime behaviour.
+
+Hypothesis generates mutator-method bodies from the vocabulary SL201
+reasons about — indexed-field writes, epoch bumps, no-ops, branches — and
+the test compares the static verdict from
+:func:`repro.analyze.passes.source_epochs.epoch_verdicts` against actually
+*running* the method on an instrumented instance and checking whether a
+mutation was left unpublished (no ``_epoch`` change after the last write).
+
+Two regimes:
+
+* straight-line bodies — exact agreement: flagged iff some execution ends
+  with a pending (unbumped) mutation;
+* bodies with branches — soundness: if the static analysis says clean,
+  then *every* execution over all branch-condition combinations must end
+  clean.  (The converse may not hold: the analysis is conservative and may
+  flag a path the conditions make infeasible.)
+"""
+
+import ast
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analyze.passes.source_epochs import epoch_verdicts
+
+# ---------------------------------------------------------------------------
+# program generation
+
+MUTATE = 'self._packages["k"] = 1'
+BUMP = "self._epoch += 1"
+NOOP = "x = 1"
+
+ATOMS = (MUTATE, BUMP, NOOP)
+
+atom = st.sampled_from(ATOMS)
+straight_line = st.lists(atom, min_size=1, max_size=6)
+
+
+@st.composite
+def branching_body(draw):
+    """A body mixing plain statements and single-level if/else blocks."""
+    pieces = draw(
+        st.lists(
+            st.one_of(
+                atom.map(lambda s: ("stmt", s)),
+                st.tuples(
+                    st.sampled_from(["a", "b"]),
+                    st.lists(atom, min_size=1, max_size=3),
+                    st.lists(atom, max_size=3),
+                ).map(lambda t: ("if", *t)),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return pieces
+
+
+def render_method(pieces, *, args=("a", "b")) -> str:
+    lines = [f"    def method(self, {', '.join(args)}):"]
+    for piece in pieces:
+        if isinstance(piece, str):
+            lines.append(f"        {piece}")
+        elif piece[0] == "stmt":
+            lines.append(f"        {piece[1]}")
+        else:
+            _tag, cond, then, orelse = piece
+            lines.append(f"        if {cond}:")
+            for stmt in then:
+                lines.append(f"            {stmt}")
+            if orelse:
+                lines.append("        else:")
+                for stmt in orelse:
+                    lines.append(f"            {stmt}")
+    return "\n".join(lines)
+
+
+def render_class(pieces) -> str:
+    # ``install`` establishes the epoch protocol (bump method + indexed
+    # field) exactly the way RpmDatabase does, so SL201 engages.
+    return "\n".join(
+        [
+            "class Db:",
+            "    def __init__(self):",
+            "        self._packages = {}",
+            "        self._epoch = 0",
+            "",
+            "    def install(self):",
+            '        self._packages["seed"] = 1',
+            "        self._epoch += 1",
+            "",
+            render_method(pieces),
+            "",
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# runtime harness
+
+
+class _Recorder(dict):
+    """Dict that raises the owner's pending flag on every write."""
+
+    def __init__(self, owner):
+        super().__init__()
+        self._owner = owner
+
+    def __setitem__(self, key, value):
+        self._owner.pending = True
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key):
+        self._owner.pending = True
+        if key in self:
+            super().__delitem__(key)
+
+
+def instrument(source: str):
+    """Exec the generated class and wrap it so the pending bit is live."""
+    namespace: dict = {}
+    exec(compile(source, "<generated>", "exec"), namespace)
+    base = namespace["Db"]
+
+    class Harness(base):
+        def __init__(self):
+            self.pending = False
+            super().__init__()
+            self._packages = _Recorder(self)
+
+        @property
+        def _epoch(self):
+            return self.__dict__.get("_epoch_value", 0)
+
+        @_epoch.setter
+        def _epoch(self, value):
+            self.__dict__["_epoch_value"] = value
+            # publishing the epoch clears any pending mutation
+            self.pending = False
+
+    return Harness
+
+
+def runtime_dirty(source: str, arg_names=("a", "b")) -> bool:
+    """True if any execution path ends with an unpublished mutation."""
+    harness = instrument(source)
+    for values in itertools.product([False, True], repeat=len(arg_names)):
+        db = harness()
+        db.method(*values)
+        if db.pending:
+            return True
+    return False
+
+
+def static_dirty(source: str) -> bool:
+    verdicts = epoch_verdicts(ast.parse(source))
+    return "method" in verdicts.get("Db", [])
+
+
+# ---------------------------------------------------------------------------
+# properties
+
+
+@settings(max_examples=200, deadline=None)
+@given(straight_line)
+def test_straight_line_verdict_agrees_with_execution(stmts):
+    source = render_class(stmts)
+    assert static_dirty(source) == runtime_dirty(source)
+
+
+@settings(max_examples=200, deadline=None)
+@given(branching_body())
+def test_static_clean_implies_every_execution_clean(pieces):
+    source = render_class(pieces)
+    if not static_dirty(source):
+        assert not runtime_dirty(source)
+
+
+def test_known_dirty_and_clean_anchors():
+    # the property tests above are only as good as the harness; pin both
+    # directions with hand-written cases
+    dirty = render_class([MUTATE])
+    clean = render_class([MUTATE, BUMP])
+    assert static_dirty(dirty) and runtime_dirty(dirty)
+    assert not static_dirty(clean) and not runtime_dirty(clean)
