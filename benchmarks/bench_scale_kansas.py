@@ -29,9 +29,17 @@ def test_scale_kansas(benchmark, save_artifact):
     hosts = cluster.hosts()
     switch_count = len(cluster.network.fabric.switch_names())
     node_names = [n.name for n in machine.nodes]
+    # Probe a deterministic spread of node pairs (evenly strided, plus the
+    # last node) so the worst case reflects cross-leaf paths at any node
+    # count, not whichever leaf two hardcoded indices happened to share.
+    stride = max(1, len(node_names) // 8)
+    probes = node_names[1::stride]
+    if node_names[-1] not in probes:
+        probes.append(node_names[-1])
     worst = max(
-        cluster.network.fabric.path_cost(node_names[1], other).hops
-        for other in (node_names[2], node_names[-1])
+        cluster.network.fabric.path_cost(a, b).hops
+        for i, a in enumerate(probes)
+        for b in probes[i + 1 :]
     )
     lines = [
         "Scale: University of Kansas (Table 3's largest row), fully built",

@@ -38,6 +38,7 @@ __all__ = [
     "AdoptionPath",
     "SiteDeployment",
     "TABLE3_SITES",
+    "build_synthetic_fleet",
     "rebuild_site_hardware",
     "table3_totals",
     "PETAFLOPS_GOAL_2020_GFLOPS",
@@ -307,3 +308,59 @@ def rebuild_site_hardware(site: SiteDeployment) -> Machine:
         price_usd=150.0 * ((site.nodes + 41) // 42),
     )
     return populate(slug, rack, nodes)
+
+
+def build_synthetic_fleet(
+    node_count: int, *, cores_per_node: int = 8, name: str = "fleet"
+) -> Machine:
+    """A synthetic fleet-scale site: ``node_count`` uniform rack nodes
+    (node 0 is the frontend) around one calibrated Westmere-class CPU.
+
+    Table 3 tops out at Kansas's 220 nodes; the scale benches and the
+    wave-install path need sites an order of magnitude past that.  This
+    builds them the same way :func:`rebuild_site_hardware` builds a campus
+    row — same parts catalogue, same ``populate`` wiring — just without a
+    published Rpeak to calibrate against (2.8 GHz x 8 flops/cycle, the
+    Westmere figure the Marshall split uses).
+    """
+    if node_count < 2:
+        raise DeploymentError(
+            f"{name}: a fleet needs a frontend plus at least one compute "
+            f"node, got {node_count} node(s)"
+        )
+    if cores_per_node <= 0:
+        raise DeploymentError(f"{name}: cores per node must be positive")
+    cpu = calibrated_cpu(
+        f"{name} CPU",
+        cores=cores_per_node,
+        target_rpeak_gflops=cores_per_node * 2.8 * 8,
+        flops_per_cycle=8,
+    )
+    board = _server_board(cpu.socket)
+    from ..hardware.storage import WD_RED_2TB
+
+    nodes = [
+        assemble_node(
+            f"{name}-n{i}",
+            role=NodeRole.FRONTEND if i == 0 else NodeRole.COMPUTE,
+            board=board,
+            cpu=cpu,
+            dimms=(DDR3_8G_UDIMM,) * 4,
+            storage=(WD_RED_2TB,),
+            cooler=_SERVER_COOLER,
+            psu=_SERVER_PSU,
+        )
+        for i in range(node_count)
+    ]
+    from ..hardware.chassis import ChassisModel
+
+    rack = ChassisModel(
+        model=f"{name} rack",
+        slots=node_count,
+        max_board_form_factor="ATX",
+        weight_lb=30.0 * node_count,
+        portable=False,
+        shared_psu=None,
+        price_usd=150.0 * ((node_count + 41) // 42),
+    )
+    return populate(name, rack, nodes)

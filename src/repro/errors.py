@@ -29,6 +29,7 @@ __all__ = [
     "RepoConfigError",
     "RepoPriorityError",
     "RocksError",
+    "FleetError",
     "RollError",
     "KickstartError",
     "ProvisionError",
@@ -153,6 +154,10 @@ class RepoPriorityError(YumError):
 
 class RocksError(ReproError):
     """Base class for Rocks-provisioner errors."""
+
+
+class FleetError(RocksError):
+    """Invalid fleet-table operation or NodeSet expression."""
 
 
 class RollError(RocksError):

@@ -9,6 +9,7 @@ monitoring mesh in one call.
 from ..rocks.installer import ProvisionedCluster
 from .gmetad import ClusterSummary, Gmetad
 from .gmond import Gmond
+from .hierarchy import FleetRack, GmetadTree, GmondRack, monitor_fleet
 from .metrics import CORE_METRICS, MetricKind, MetricSample, MetricSpec, MonitoringError
 from .rrd import Rrd, RrdPoint
 
@@ -24,6 +25,10 @@ __all__ = [
     "Gmetad",
     "ClusterSummary",
     "monitor_cluster",
+    "FleetRack",
+    "GmondRack",
+    "GmetadTree",
+    "monitor_fleet",
 ]
 
 

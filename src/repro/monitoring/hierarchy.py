@@ -1,0 +1,448 @@
+"""Hierarchical monitoring: a gmetad-of-gmetads tree for 10k+ hosts.
+
+A flat :class:`~repro.monitoring.gmetad.Gmetad` polls every gmond every
+cycle — O(hosts) python objects touched per period, which is exactly the
+per-node overhead ROADMAP item 1 bans from fleet hot paths.  Real Ganglia
+deployments scale by federating: leaf gmetads summarize a rack each, and
+the root gmetad aggregates *summaries*, not hosts.
+
+This module reproduces that shape:
+
+* :class:`FleetRack` — a leaf that summarizes one rack straight off the
+  shared :class:`~repro.fleet.FleetTable` columns (power, responsiveness,
+  cores, load, memory), no per-host objects at all.  When the table epoch
+  is unchanged since the last cycle the cached summary is reused — an
+  idle rack costs O(1) per cycle;
+* :class:`GmondRack` — a leaf over real :class:`Gmond` agents for racks
+  that need full metric fidelity (the frontend, say);
+* :class:`GmetadTree` — the root: merges per-rack ``ClusterSummary``
+  deltas into running totals, emitting one ``monitor.rack`` event per
+  *changed* rack and one ``monitor.rollup`` per cycle.
+
+Dead-host detection is preserved at the leaves: consecutive missed
+heartbeats (an unresponsive gmond, or a zeroed ``responsive`` column
+flag) declare the host dead and emit ``monitor.host_dead`` exactly as the
+flat aggregator does.
+
+:func:`monitor_fleet` wires a provisioned cluster into the tree in one
+call (the fleet-scale sibling of
+:func:`~repro.monitoring.monitor_cluster`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..errors import ReproError
+from ..fleet import FleetTable
+from ..sim import PeriodicEvent, SimKernel
+from .gmetad import ClusterSummary
+from .gmond import Gmond
+from .metrics import MonitoringError
+
+__all__ = ["FleetRack", "GmondRack", "GmetadTree", "monitor_fleet"]
+
+
+def _signature(s: ClusterSummary) -> tuple:
+    """Everything that makes two cycles' summaries *different* — all
+    fields except the timestamp."""
+    return (
+        s.hosts_total,
+        s.hosts_up,
+        s.total_cores,
+        s.load_total,
+        s.mem_total_kb,
+        s.mem_free_kb,
+        s.failed_services,
+        s.hosts_dead,
+    )
+
+
+class FleetRack:
+    """One rack summarized as fleet-table column scans.
+
+    ``indices`` are the rack's row indices in the shared table.  A host is
+    *up* when powered; an unresponsive host is a missed heartbeat and is
+    declared dead after ``dead_after_misses`` consecutive misses.  The
+    memory model matches :class:`Gmond`: free memory degrades with load,
+    floored at 10%.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fleet: FleetTable,
+        indices: list[int],
+        *,
+        dead_after_misses: int = 3,
+    ) -> None:
+        if dead_after_misses < 1:
+            raise MonitoringError("dead_after_misses must be >= 1")
+        self.name = name
+        self.fleet = fleet
+        self.indices = list(indices)
+        self.dead_after_misses = dead_after_misses
+        self._missed: dict[int, int] = {}
+        self._dead: set[int] = set()
+        self._last: ClusterSummary | None = None
+        self._last_epoch = -1
+        #: True when no miss counter is mid-count (every unresponsive host
+        #: is already declared dead) — the precondition for the epoch
+        #: fast path, since a pending counter changes state even when the
+        #: table does not.
+        self._settled = True
+
+    def hosts(self) -> list[str]:
+        fleet = self.fleet
+        return [fleet.names[i] for i in self.indices if fleet.alive[i]]
+
+    def dead_hosts(self) -> list[str]:
+        return sorted(self.fleet.names[i] for i in self._dead)
+
+    def sample(self, timestamp_s: float, trace) -> tuple[ClusterSummary, bool]:
+        """Summarize the rack; returns ``(summary, changed_since_last)``."""
+        fleet = self.fleet
+        if (
+            self._last is not None
+            and self._settled
+            and fleet.epoch == self._last_epoch
+        ):
+            # Nothing in the table moved and no heartbeat counter is
+            # pending: the previous summary still holds.
+            summary = replace(self._last, timestamp_s=timestamp_s)
+            self._last = summary
+            return summary, False
+
+        up = 0
+        total = 0
+        cores = 0
+        load = 0.0
+        mem_total = 0.0
+        mem_free = 0.0
+        unsettled = False
+        for i in self.indices:
+            if not fleet.alive[i]:
+                continue
+            total += 1
+            if not fleet.responsive[i]:
+                missed = self._missed.get(i, 0) + 1
+                self._missed[i] = missed
+                if missed >= self.dead_after_misses:
+                    if i not in self._dead:
+                        self._dead.add(i)
+                        trace.emit(
+                            "monitor.host_dead", t_s=timestamp_s,
+                            subsystem="monitoring", host=fleet.names[i],
+                            missed=missed,
+                        )
+                else:
+                    unsettled = True
+                continue
+            self._missed[i] = 0
+            self._dead.discard(i)
+            if fleet.powered[i]:
+                up += 1
+                c = fleet.cores[i]
+                busy = fleet.load[i]
+                cores += c
+                load += busy
+                mt = fleet.mem_kb[i]
+                mem_total += mt
+                mem_free += mt * max(0.1, 1.0 - 0.8 * busy / max(c, 1))
+        summary = ClusterSummary(
+            timestamp_s=timestamp_s,
+            hosts_total=total,
+            hosts_up=up,
+            total_cores=cores,
+            load_total=load,
+            mem_total_kb=mem_total,
+            mem_free_kb=mem_free,
+            failed_services=0,
+            hosts_dead=len(self._dead),
+        )
+        changed = self._last is None or _signature(summary) != _signature(
+            self._last
+        )
+        self._last = summary
+        self._last_epoch = fleet.epoch
+        self._settled = not unsettled
+        return summary, changed
+
+
+class GmondRack:
+    """One rack of real :class:`Gmond` agents, summarized at the leaf.
+
+    Full metric fidelity (service failures included) without the root ever
+    touching the agents — use it for racks that need detail (the frontend)
+    alongside :class:`FleetRack` leaves for the bulk.
+    """
+
+    def __init__(self, name: str, *, dead_after_misses: int = 3) -> None:
+        if dead_after_misses < 1:
+            raise MonitoringError("dead_after_misses must be >= 1")
+        self.name = name
+        self.dead_after_misses = dead_after_misses
+        self._gmonds: dict[str, Gmond] = {}
+        self._missed: dict[str, int] = {}
+        self._dead: set[str] = set()
+        self._last: ClusterSummary | None = None
+
+    def attach(self, gmond: Gmond) -> None:
+        host = gmond.host.name
+        if host in self._gmonds:
+            raise MonitoringError(f"gmond for {host} already attached")
+        self._gmonds[host] = gmond
+
+    def hosts(self) -> list[str]:
+        return sorted(self._gmonds)
+
+    def dead_hosts(self) -> list[str]:
+        return sorted(self._dead)
+
+    def sample(self, timestamp_s: float, trace) -> tuple[ClusterSummary, bool]:
+        """Poll every agent in the rack; returns ``(summary, changed)``."""
+        up = 0
+        cores = 0
+        load = 0.0
+        mem_total = 0.0
+        mem_free = 0.0
+        failed = 0
+        for name in self.hosts():
+            try:
+                samples = {
+                    s.spec.name: s for s in self._gmonds[name].poll(timestamp_s)
+                }
+            except ReproError:
+                missed = self._missed.get(name, 0) + 1
+                self._missed[name] = missed
+                if missed >= self.dead_after_misses and name not in self._dead:
+                    self._dead.add(name)
+                    trace.emit(
+                        "monitor.host_dead", t_s=timestamp_s,
+                        subsystem="monitoring", host=name, missed=missed,
+                    )
+                continue
+            self._missed[name] = 0
+            self._dead.discard(name)
+            if samples["powered_on"].value > 0:
+                up += 1
+                cores += int(samples["cpu_num"].value)
+                load += samples["load_one"].value
+                mem_total += samples["mem_total"].value
+                mem_free += samples["mem_free"].value
+                failed += int(samples["svc_failed"].value)
+        summary = ClusterSummary(
+            timestamp_s=timestamp_s,
+            hosts_total=len(self._gmonds),
+            hosts_up=up,
+            total_cores=cores,
+            load_total=load,
+            mem_total_kb=mem_total,
+            mem_free_kb=mem_free,
+            failed_services=failed,
+            hosts_dead=len(self._dead),
+        )
+        changed = self._last is None or _signature(summary) != _signature(
+            self._last
+        )
+        self._last = summary
+        return summary, changed
+
+
+class GmetadTree:
+    """The root aggregator: merges rack summaries, never polls a host.
+
+    Each cycle asks every leaf for its summary and folds *deltas* into
+    running totals: an unchanged rack costs one subtraction-free pass (and,
+    for :class:`FleetRack` leaves on a quiet table, the leaf itself is
+    O(1)).  Per changed rack it emits ``monitor.rack``; per cycle,
+    ``monitor.rollup`` with the merged figures and how many racks moved.
+    """
+
+    def __init__(
+        self,
+        cluster_name: str,
+        *,
+        poll_period_s: float = 15.0,
+        kernel: SimKernel | None = None,
+    ) -> None:
+        if poll_period_s <= 0:
+            raise MonitoringError("poll period must be positive")
+        self.cluster_name = cluster_name
+        self.poll_period_s = poll_period_s
+        self.kernel = kernel if kernel is not None else SimKernel()
+        self._racks: dict[str, FleetRack | GmondRack] = {}
+        self._rack_last: dict[str, ClusterSummary] = {}
+        # Running totals the deltas fold into.
+        self._hosts_total = 0
+        self._hosts_up = 0
+        self._cores = 0
+        self._load = 0.0
+        self._mem_total = 0.0
+        self._mem_free = 0.0
+        self._failed = 0
+        self._dead = 0
+        self._sampler: PeriodicEvent | None = None
+        self.summaries: list[ClusterSummary] = []
+
+    @property
+    def now_s(self) -> float:
+        return self.kernel.now_s
+
+    def add_rack(self, rack: FleetRack | GmondRack) -> None:
+        if rack.name in self._racks:
+            raise MonitoringError(f"rack {rack.name} already attached")
+        self._racks[rack.name] = rack
+
+    def racks(self) -> list[str]:
+        return sorted(self._racks)
+
+    def rack_for(self, name: str) -> FleetRack | GmondRack:
+        try:
+            return self._racks[name]
+        except KeyError:
+            raise MonitoringError(f"unknown rack {name!r}") from None
+
+    def dead_hosts(self) -> list[str]:
+        """Dead hosts across every rack (leaf detection, merged view)."""
+        out: list[str] = []
+        for name in self.racks():
+            out.extend(self._racks[name].dead_hosts())
+        return sorted(out)
+
+    def _fold_delta(
+        self, old: ClusterSummary | None, new: ClusterSummary
+    ) -> None:
+        if old is not None:
+            self._hosts_total -= old.hosts_total
+            self._hosts_up -= old.hosts_up
+            self._cores -= old.total_cores
+            self._load -= old.load_total
+            self._mem_total -= old.mem_total_kb
+            self._mem_free -= old.mem_free_kb
+            self._failed -= old.failed_services
+            self._dead -= old.hosts_dead
+        self._hosts_total += new.hosts_total
+        self._hosts_up += new.hosts_up
+        self._cores += new.total_cores
+        self._load += new.load_total
+        self._mem_total += new.mem_total_kb
+        self._mem_free += new.mem_free_kb
+        self._failed += new.failed_services
+        self._dead += new.hosts_dead
+
+    def _sample(self, timestamp_s: float) -> ClusterSummary:
+        trace = self.kernel.trace
+        changed_racks = 0
+        for name in self.racks():
+            summary, changed = self._racks[name].sample(timestamp_s, trace)
+            if changed:
+                changed_racks += 1
+                self._fold_delta(self._rack_last.get(name), summary)
+                trace.emit(
+                    "monitor.rack", t_s=timestamp_s, subsystem="monitoring",
+                    rack=name, hosts_up=summary.hosts_up,
+                    hosts_total=summary.hosts_total,
+                    load_total=summary.load_total,
+                )
+            self._rack_last[name] = summary
+        merged = ClusterSummary(
+            timestamp_s=timestamp_s,
+            hosts_total=self._hosts_total,
+            hosts_up=self._hosts_up,
+            total_cores=self._cores,
+            load_total=self._load,
+            mem_total_kb=self._mem_total,
+            mem_free_kb=self._mem_free,
+            failed_services=self._failed,
+            hosts_dead=self._dead,
+        )
+        self.summaries.append(merged)
+        trace.emit(
+            "monitor.rollup", t_s=timestamp_s, subsystem="monitoring",
+            racks=len(self._racks), changed=changed_racks,
+            hosts_up=merged.hosts_up, hosts_total=merged.hosts_total,
+            load_total=merged.load_total,
+        )
+        return merged
+
+    def poll_cycle(self) -> ClusterSummary:
+        """One polling period: advance, summarize racks, merge deltas."""
+        self.kernel.run_until(self.now_s + self.poll_period_s)
+        return self._sample(self.now_s)
+
+    def run_cycles(self, count: int) -> ClusterSummary:
+        """Poll ``count`` times; returns the last merged summary."""
+        if count <= 0:
+            raise MonitoringError("cycle count must be positive")
+        last = None
+        for _ in range(count):
+            last = self.poll_cycle()
+        assert last is not None
+        return last
+
+    def start_sampling(self, *, first_at_s: float | None = None) -> PeriodicEvent:
+        """Register polling as a periodic kernel event (co-simulation)."""
+        if self._sampler is not None:
+            raise MonitoringError("sampling is already running")
+        self._sampler = self.kernel.every(
+            self.poll_period_s,
+            lambda: self._sample(self.kernel.now_s),
+            first_at_s=first_at_s,
+            label=f"gmetad-tree.poll:{self.cluster_name}",
+        )
+        return self._sampler
+
+    def stop_sampling(self) -> None:
+        if self._sampler is not None:
+            self._sampler.cancel()
+            self._sampler = None
+
+    def state_dict(self) -> dict[str, object]:
+        """JSON-friendly snapshot of the aggregation tree."""
+        return {
+            "cluster": self.cluster_name,
+            "racks": {
+                name: {
+                    "hosts": len(self._racks[name].hosts()),
+                    "dead": self._racks[name].dead_hosts(),
+                }
+                for name in self.racks()
+            },
+            "summaries": len(self.summaries),
+        }
+
+
+def monitor_fleet(
+    cluster,
+    *,
+    hosts_per_rack: int = 48,
+    poll_period_s: float = 15.0,
+    kernel: SimKernel | None = None,
+    dead_after_misses: int = 3,
+) -> GmetadTree:
+    """Wire a provisioned cluster into a hierarchical monitoring tree.
+
+    Rows of the cluster's fleet table (frontend included) are chunked into
+    :class:`FleetRack` leaves of ``hosts_per_rack`` each — the fleet-scale
+    counterpart of :func:`~repro.monitoring.monitor_cluster`, with no
+    per-host gmond objects.  Works for any install mode; it is the only
+    monitoring path that scales to golden-image fleets.
+    """
+    if hosts_per_rack < 1:
+        raise MonitoringError("hosts_per_rack must be >= 1")
+    fleet = cluster.rocksdb.fleet
+    tree = GmetadTree(
+        cluster.machine.name, poll_period_s=poll_period_s, kernel=kernel
+    )
+    indices = fleet.ordered_indices()
+    for j, start in enumerate(range(0, len(indices), hosts_per_rack)):
+        tree.add_rack(
+            FleetRack(
+                f"rack{j:03d}",
+                fleet,
+                indices[start : start + hosts_per_rack],
+                dead_after_misses=dead_after_misses,
+            )
+        )
+    return tree

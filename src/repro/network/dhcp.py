@@ -69,18 +69,38 @@ class DhcpPlan:
 
 
 class DhcpServer:
-    """The frontend's DHCP daemon on the private segment."""
+    """The frontend's DHCP daemon on the private segment.
 
-    def __init__(self, *, network_prefix: str = "10.1.1", pool_start: int = 10, pool_end: int = 254):
+    One subnet (the default) allocates ``prefix.pool_start`` through
+    ``prefix.pool_end`` — at most 245 leases with the defaults, which caps
+    the fleet well short of 10k nodes.  ``subnets > 1`` widens the pool
+    across consecutive third octets (``10.1.1.x``, ``10.1.2.x``, ...), the
+    way a real frontend adds dhcpd subnet declarations per rack segment;
+    allocation order stays deterministic (fill one subnet, roll to the
+    next).
+    """
+
+    def __init__(
+        self,
+        *,
+        network_prefix: str = "10.1.1",
+        pool_start: int = 10,
+        pool_end: int = 254,
+        subnets: int = 1,
+    ):
         if not 0 < pool_start <= pool_end <= 254:
             raise DhcpError(
                 f"invalid pool {pool_start}..{pool_end} (must be within 1..254)"
             )
+        if subnets < 1:
+            raise DhcpError(f"subnet count must be positive, got {subnets}")
         self.network_prefix = network_prefix
         self.pool_start = pool_start
         self.pool_end = pool_end
+        self.subnets = subnets
         self._by_mac: dict[str, DhcpLease] = {}
         self._next = pool_start
+        self._subnet = 0
         #: every DISCOVER seen, known or not (insert-ethers tails this)
         self.request_log: list[str] = []
 
@@ -88,6 +108,18 @@ class DhcpServer:
     def server_ip(self) -> str:
         """The frontend's own address on the segment."""
         return f"{self.network_prefix}.1"
+
+    @property
+    def capacity(self) -> int:
+        """Total leases the pool can hand out across all subnets."""
+        return (self.pool_end - self.pool_start + 1) * self.subnets
+
+    def _prefix_for(self, subnet: int) -> str:
+        """The /24 prefix of one subnet (subnet 0 is ``network_prefix``)."""
+        if subnet == 0:
+            return self.network_prefix
+        head, _, third = self.network_prefix.rpartition(".")
+        return f"{head}.{int(third) + subnet}"
 
     def offer(self, mac: str, *, hostname: str = "") -> DhcpLease:
         """Handle a DISCOVER: return the existing lease or allocate one."""
@@ -98,16 +130,43 @@ class DhcpServer:
         if existing is not None:
             return existing
         if self._next > self.pool_end:
-            raise DhcpError(
-                f"address pool {self.network_prefix}.{self.pool_start}-"
-                f"{self.pool_end} exhausted"
-            )
+            if self._subnet + 1 < self.subnets:
+                self._subnet += 1
+                self._next = self.pool_start
+            else:
+                suffix = (
+                    f" (and {self.subnets - 1} overflow subnet(s))"
+                    if self.subnets > 1
+                    else ""
+                )
+                raise DhcpError(
+                    f"address pool {self.network_prefix}.{self.pool_start}-"
+                    f"{self.pool_end}{suffix} exhausted"
+                )
         lease = DhcpLease(
-            mac=mac, ip=f"{self.network_prefix}.{self._next}", hostname=hostname
+            mac=mac,
+            ip=f"{self._prefix_for(self._subnet)}.{self._next}",
+            hostname=hostname,
         )
         self._next += 1
         self._by_mac[mac] = lease
         return lease
+
+    def offer_batch(
+        self, macs: list[str], *, hostnames: list[str] | None = None
+    ) -> list[DhcpLease]:
+        """Handle a burst of DISCOVERs in order (one install wave booting).
+
+        ``hostnames``, when given, pairs with ``macs`` positionally.
+        """
+        if hostnames is not None and len(hostnames) != len(macs):
+            raise DhcpError(
+                f"{len(macs)} MAC(s) but {len(hostnames)} hostname(s)"
+            )
+        return [
+            self.offer(mac, hostname=hostnames[i] if hostnames else "")
+            for i, mac in enumerate(macs)
+        ]
 
     def lease_for(self, mac: str) -> DhcpLease:
         """Look up an existing lease."""

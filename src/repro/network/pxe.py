@@ -135,3 +135,12 @@ class PxeServer:
             subsystem="network",
             retry_on=(PxeError,),
         )
+
+    def boot_batch(self, macs: list[str]) -> list[PxeBootResult]:
+        """PXE one install wave: handshake every MAC in order.
+
+        Same per-MAC semantics as :meth:`boot` (including injected
+        timeouts and retry policy); the batch exists so wave installs make
+        one call per wave instead of one per node.
+        """
+        return [self.boot(mac) for mac in macs]

@@ -114,10 +114,19 @@ def build_cluster_network(
             fabric.attach(leaves[index // per_leaf].name, endpoint)
         private = spine
 
+    # One /24 pool (245 leases) covers classic sites; a 10k-node fleet
+    # needs the pool widened across overflow subnets.  Sizing from the
+    # machine keeps small clusters byte-identical (subnets=1).
+    single = DhcpServer()
+    per_subnet = single.pool_end - single.pool_start + 1
+    needed = len(machine.compute_nodes)
+    if needed > per_subnet:
+        single = DhcpServer(subnets=-(-needed // per_subnet))
+
     return ClusterNetwork(
         fabric=fabric,
         private_switch=private,
         public_switch=public,
-        dhcp=DhcpServer(),
+        dhcp=single,
         machine=machine,
     )

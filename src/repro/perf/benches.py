@@ -265,6 +265,45 @@ def bench_kansas_install(quick: bool = False) -> BenchResult:
     return BenchResult("kansas_install", nodes / wall, wall, nodes)
 
 
+def bench_scale_10k(quick: bool = False) -> BenchResult:
+    """Fleet-scale cycle: a synthetic 10,000-node site through hardware
+    build, golden-image wave install (waves of 256, one shared transaction
+    plan per wave), and one hierarchical monitoring cycle over the
+    FleetTable-backed rack tree.  The cycle runs **twice with the same
+    seed** and the two traces must be byte-identical — the determinism
+    contract is part of the bench, not a separate test.  Quick mode runs
+    1,000 nodes.  ``n`` counts nodes through the full cycle."""
+    from ..core.deployments import build_synthetic_fleet
+    from ..monitoring import monitor_fleet
+    from ..rocks.installer import RocksInstaller
+    from ..sim import SimKernel
+    from ..yum.depsolver import clear_resolution_cache
+
+    node_count = 1_000 if quick else 10_000
+
+    def cycle() -> tuple[float, str]:
+        clear_resolution_cache()
+        t0 = time.perf_counter()
+        machine = build_synthetic_fleet(node_count)
+        kernel = SimKernel(seed=10_000)
+        cluster = RocksInstaller(machine).run(
+            wave_size=256, kernel=kernel, materialize=False
+        )
+        monitor_fleet(cluster, kernel=kernel).poll_cycle()
+        wall = time.perf_counter() - t0
+        return wall, kernel.trace.to_jsonl()
+
+    wall_a, trace_a = cycle()
+    wall_b, trace_b = cycle()
+    if trace_a != trace_b:
+        raise AssertionError(
+            "bench_scale_10k: same-seed traces differ between runs — the "
+            "fleet install/monitoring path has become non-deterministic"
+        )
+    wall = min(wall_a, wall_b)
+    return BenchResult("bench_scale_10k", node_count / wall, wall, node_count)
+
+
 #: name -> bench function (full and quick variants share one function).
 BENCHES: dict[str, Callable[[bool], BenchResult]] = {
     "depsolver_closure": bench_depsolver_closure,
@@ -274,6 +313,7 @@ BENCHES: dict[str, Callable[[bool], BenchResult]] = {
     "trace_heavy_run_until": bench_trace_heavy_run_until,
     "scheduler_churn": bench_scheduler_churn,
     "kansas_install": bench_kansas_install,
+    "bench_scale_10k": bench_scale_10k,
 }
 
 

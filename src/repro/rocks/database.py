@@ -3,6 +3,15 @@
 "Using an internal database, Rocks can manage many compute nodes" (Section
 3).  The database tracks every appliance: name, MAC, IP, appliance type,
 rack/rank position, and install state — the table ``rocks list host`` shows.
+
+Storage is a columnar :class:`~repro.fleet.FleetTable` (ROADMAP item 1:
+10k+ node fleets stop being viable with one Python object per row).  The
+legacy API is unchanged — lookups return :class:`~repro.fleet.FleetRow`
+proxies that are attribute-compatible with :class:`HostRecord` and *live*:
+two lookups of one host return the same proxy, and mutations land in the
+table columns the installer, scheduler, and monitors read directly.
+``compute-<rack>-<rank>`` naming is O(1) via an incremental per-rack
+high-water mark instead of a full-table scan per discovery.
 """
 
 from __future__ import annotations
@@ -11,6 +20,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from ..errors import RocksError
+from ..fleet import FleetRow, FleetTable
 
 __all__ = ["InstallState", "HostRecord", "RocksDatabase"]
 
@@ -26,7 +36,11 @@ class InstallState(str, Enum):
 
 @dataclass
 class HostRecord:
-    """One row of the hosts table."""
+    """One row of the hosts table (the value type ``add_host`` accepts).
+
+    Stored rows live in the columnar fleet table; reads come back as
+    :class:`~repro.fleet.FleetRow` proxies exposing these same attributes.
+    """
 
     name: str
     mac: str
@@ -38,55 +52,79 @@ class HostRecord:
 
 
 class RocksDatabase:
-    """The frontend's cluster database."""
+    """The frontend's cluster database (columnar)."""
 
-    def __init__(self) -> None:
-        self._by_name: dict[str, HostRecord] = {}
-        self._by_mac: dict[str, HostRecord] = {}
+    def __init__(self, fleet: FleetTable | None = None) -> None:
+        #: the cluster's one fleet table; share it with the scheduler
+        #: (``ClusterResources.from_fleet``) and the monitoring tree
+        #: (``FleetRack``) so all layers read the same columns.
+        self.fleet = (
+            fleet
+            if fleet is not None
+            else FleetTable(state_values=tuple(InstallState))
+        )
+        #: rack -> highest compute rank registered (the next_compute_name
+        #: fast path); racks land in ``_stale_racks`` on removal and are
+        #: recomputed lazily, preserving the max+1 reuse semantics.
+        self._max_rank: dict[int, int] = {}
+        self._stale_racks: set[int] = set()
 
-    def add_host(self, record: HostRecord) -> HostRecord:
-        """Register an appliance (name and MAC must both be new)."""
-        if record.name in self._by_name:
+    def add_host(self, record: HostRecord) -> FleetRow:
+        """Register an appliance (name and MAC must both be new).
+
+        Returns the live row proxy for the new appliance.
+        """
+        if self.fleet.has(record.name):
             raise RocksError(f"host {record.name} already in database")
-        if record.mac in self._by_mac:
+        if record.mac and self.fleet.has_mac(record.mac):
             raise RocksError(f"MAC {record.mac} already in database")
-        self._by_name[record.name] = record
-        self._by_mac[record.mac] = record
-        return record
+        row = self.fleet.add_row(
+            name=record.name,
+            mac=record.mac,
+            ip=record.ip,
+            appliance=record.appliance,
+            rack=record.rack,
+            rank=record.rank,
+            state=record.state,
+        )
+        if record.appliance == "compute" and record.rack not in self._stale_racks:
+            current = self._max_rank.get(record.rack)
+            if current is None or record.rank > current:
+                self._max_rank[record.rack] = record.rank
+        return row
 
     def remove_host(self, name: str) -> None:
         """rocks remove host."""
         record = self.get(name)
-        del self._by_name[name]
-        del self._by_mac[record.mac]
+        rack = record.rack
+        was_compute = record.appliance == "compute"
+        self.fleet.remove(name)
+        if was_compute:
+            self._stale_racks.add(rack)
 
-    def get(self, name: str) -> HostRecord:
-        try:
-            return self._by_name[name]
-        except KeyError:
-            raise RocksError(f"no host {name} in database") from None
+    def get(self, name: str) -> FleetRow:
+        if not self.fleet.has(name):
+            raise RocksError(f"no host {name} in database")
+        return self.fleet.by_name(name)
 
-    def by_mac(self, mac: str) -> HostRecord:
-        try:
-            return self._by_mac[mac]
-        except KeyError:
-            raise RocksError(f"no host with MAC {mac} in database") from None
+    def by_mac(self, mac: str) -> FleetRow:
+        if not self.fleet.has_mac(mac):
+            raise RocksError(f"no host with MAC {mac} in database")
+        return self.fleet.by_mac(mac)
 
     def has_mac(self, mac: str) -> bool:
-        return mac in self._by_mac
+        return self.fleet.has_mac(mac)
 
-    def hosts(self) -> list[HostRecord]:
+    def hosts(self) -> list[FleetRow]:
         """All records, frontend first then compute by (rack, rank)."""
-        return sorted(
-            self._by_name.values(),
-            key=lambda r: (r.appliance != "frontend", r.rack, r.rank),
-        )
+        return self.fleet.rows()
 
-    def compute_hosts(self) -> list[HostRecord]:
-        return [r for r in self.hosts() if r.appliance == "compute"]
+    def compute_hosts(self) -> list[FleetRow]:
+        fleet = self.fleet
+        return [fleet.row(i) for i in fleet.compute_indices()]
 
     def known_macs(self) -> set[str]:
-        return set(self._by_mac)
+        return self.fleet.known_macs()
 
     def set_state(self, name: str, state: InstallState) -> None:
         self.get(name).state = state
@@ -109,11 +147,21 @@ class RocksDatabase:
         }
 
     def next_compute_name(self, rack: int) -> str:
-        """The compute-<rack>-<rank> naming Rocks uses."""
-        ranks = [
-            r.rank
-            for r in self._by_name.values()
-            if r.appliance == "compute" and r.rack == rack
-        ]
-        rank = max(ranks) + 1 if ranks else 0
+        """The compute-<rack>-<rank> naming Rocks uses (max rank + 1)."""
+        if rack in self._stale_racks:
+            fleet = self.fleet
+            ranks = [
+                fleet.ranks[i]
+                for i in fleet.compute_indices()
+                if fleet.racks[i] == rack
+            ]
+            if ranks:
+                self._max_rank[rack] = max(ranks)
+            else:
+                self._max_rank.pop(rack, None)
+            self._stale_racks.discard(rack)
+        if rack in self._max_rank:
+            rank = self._max_rank[rack] + 1
+        else:
+            rank = 0
         return f"compute-{rack}-{rank}"

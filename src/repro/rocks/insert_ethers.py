@@ -32,34 +32,41 @@ class InsertEthers:
     pxe: PxeServer
     rack: int = 0
     appliance: str = "compute"
-    discovered: list[HostRecord] = field(default_factory=list)
+    #: live :class:`~repro.fleet.FleetRow` proxies, in discovery order
+    discovered: list = field(default_factory=list)
 
-    def poll(self) -> list[HostRecord]:
-        """One pass over the DHCP log: register every unknown MAC.
-
-        Returns the newly registered records (possibly empty).  Mirrors the
-        tool's behaviour of assigning names in the order MACs first appear.
-        """
-        new_records: list[HostRecord] = []
-        for mac in self.dhcp.unknown_macs(self.db.known_macs()):
-            name = self.db.next_compute_name(self.rack)
-            lease = self.dhcp.offer(mac, hostname=name)
-            rank = int(name.rsplit("-", 1)[1])
-            record = HostRecord(
+    def _register(self, mac: str, ip: str):
+        """Write one discovered MAC's database row; returns the live row."""
+        name = self.db.next_compute_name(self.rack)
+        rank = int(name.rsplit("-", 1)[1])
+        row = self.db.add_host(
+            HostRecord(
                 name=name,
                 mac=mac,
-                ip=lease.ip,
+                ip=ip,
                 appliance=self.appliance,
                 rack=self.rack,
                 rank=rank,
                 state=InstallState.DISCOVERED,
             )
-            self.db.add_host(record)
-            new_records.append(record)
-            self.discovered.append(record)
+        )
+        self.discovered.append(row)
+        return row
+
+    def poll(self) -> list:
+        """One pass over the DHCP log: register every unknown MAC.
+
+        Returns the newly registered records (possibly empty).  Mirrors the
+        tool's behaviour of assigning names in the order MACs first appear.
+        """
+        new_records = []
+        for mac in self.dhcp.unknown_macs(self.db.known_macs()):
+            name = self.db.next_compute_name(self.rack)
+            lease = self.dhcp.offer(mac, hostname=name)
+            new_records.append(self._register(mac, lease.ip))
         return new_records
 
-    def discover_boot(self, mac: str) -> HostRecord:
+    def discover_boot(self, mac: str):
         """Drive one node's full discovery: PXE boot then register.
 
         Raises :class:`RocksError` if the MAC is already known (re-running
@@ -74,3 +81,23 @@ class InsertEthers:
             if record.mac == mac:
                 return record
         raise RocksError(f"discovery failed for MAC {mac}")  # pragma: no cover
+
+    def discover_wave(self, macs: list[str]) -> list:
+        """Drive one install wave's discovery: boot and register a batch.
+
+        The scalable replacement for per-node :meth:`discover_boot`, which
+        rescans the whole DHCP request log (O(log x nodes) across an
+        install) per discovery.  A wave PXE-boots its MACs in order, then
+        registers each directly from its lease — no log scan — preserving
+        the exact name assignment order the sequential path produces.
+        """
+        for mac in macs:
+            if self.db.has_mac(mac):
+                raise RocksError(f"MAC {mac} is already registered")
+        self.pxe.boot_batch(macs)
+        rows = []
+        for mac in macs:
+            # The PXE handshake already allocated this MAC's lease.
+            lease = self.dhcp.lease_for(mac)
+            rows.append(self._register(mac, lease.ip))
+        return rows

@@ -16,10 +16,12 @@ insert-ethers.  Two paper-critical behaviours live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..distro.distribution import CENTOS_6_5, DistroRelease
 from ..distro.host import Host
 from ..errors import ProvisionError, RocksError
+from ..fleet import fold_names
 from ..hardware.chassis import Machine
 from ..network.pxe import BootImage, PxeServer
 from ..network.topology import ClusterNetwork, build_cluster_network
@@ -56,6 +58,33 @@ class ProvisionedCluster:
     compute: dict[str, tuple[Host, RpmDatabase]] = field(default_factory=dict)
     rolls: dict[str, Roll] = field(default_factory=dict)
     scheduler_choice: str = "torque"
+    #: the template compute (host, db) when installed golden-image style
+    #: (``materialize=False``); per-node state lives in the fleet table.
+    golden_image: tuple[Host, RpmDatabase] | None = None
+    #: lazy per-node builder wired up by golden-image installs
+    _materializer: Callable[[str], tuple[Host, RpmDatabase]] | None = None
+
+    def host_for(self, name: str) -> Host:
+        """The live :class:`Host` of any installed cluster member.
+
+        Materialized installs find it in :attr:`compute`; golden-image
+        installs build the node's host lazily on first access (and cache
+        it), so a 10k-node cluster only pays per-node object cost for the
+        nodes something actually touches.
+        """
+        if name in self.compute:
+            return self.compute[name][0]
+        record = self.rocksdb.get(name)
+        if record.appliance == "frontend":
+            return self.frontend
+        if (
+            self._materializer is None
+            or record.state is not InstallState.INSTALLED
+        ):
+            raise RocksError(f"host {name} is not part of this cluster")
+        host, db = self._materializer(name)
+        self.compute[name] = (host, db)
+        return host
 
     def hosts(self) -> list[Host]:
         """Frontend first, then compute nodes in database order."""
@@ -198,15 +227,36 @@ class RocksInstaller:
                     dist.add(pkg)
         return dist
 
+    def _consume_crash(self, hostname: str, mac: str) -> None:
+        """Raise the injected mid-kickstart crash for ``mac``, if armed."""
+        if mac in self._crash_macs:
+            # Injected mid-kickstart crash: the transaction never commits,
+            # so the node holds no packages — there is no half-installed
+            # state to reconcile, only a FAILED record.
+            self._crash_macs.discard(mac)
+            raise ProvisionError(
+                f"{hostname}: node lost power mid-kickstart; "
+                f"install transaction aborted"
+            )
+
     def _kickstart_host(
         self,
         host: Host,
         graph: KickstartGraph,
         distribution: Repository,
         profile: str,
+        *,
+        plan_cache: dict | None = None,
+        inject: bool = True,
     ) -> RpmDatabase:
         """Install a profile's package closure onto a host and enable its
-        services — one node's kickstart."""
+        services — one node's kickstart.
+
+        ``plan_cache`` enables wave-shared transaction plans: identical
+        kickstarts (same profile, same empty-DB fingerprint, same package
+        set) validate and order once, then every other host in the wave
+        commits through the cached :class:`TransactionPlan`.
+        """
         db = RpmDatabase(host)
         repos = RepoSet([distribution])
         wanted = graph.resolve_packages(profile)
@@ -214,16 +264,21 @@ class RocksInstaller:
         txn = Transaction(db)
         for pkg in resolution.to_install:
             txn.install(pkg)
-        if host.node.mac_address in self._crash_macs:
-            # Injected mid-kickstart crash: the transaction never commits,
-            # so the node holds no packages — there is no half-installed
-            # state to reconcile, only a FAILED record.
-            self._crash_macs.discard(host.node.mac_address)
-            raise ProvisionError(
-                f"{host.hostname}: node lost power mid-kickstart; "
-                f"install transaction aborted"
+        if inject:
+            self._consume_crash(host.hostname, host.node.mac_address)
+        if plan_cache is None:
+            txn.commit()
+        else:
+            key = (
+                profile,
+                db.fingerprint(),
+                tuple(sorted(p.nevra for p in resolution.to_install)),
             )
-        txn.commit()
+            plan = plan_cache.get(key)
+            if plan is None:
+                plan = txn.plan()
+                plan_cache[key] = plan
+            txn.commit_planned(plan)
         for service in graph.resolve_services(profile):
             host.services.enable(service)
         host.services.boot()
@@ -236,7 +291,31 @@ class RocksInstaller:
 
     # -- the install ------------------------------------------------------------------
 
-    def run(self, *, continue_on_error: bool = False) -> ProvisionedCluster:
+    def _build_golden_image(
+        self, graph, distribution, plan_cache: dict
+    ) -> tuple[Host, RpmDatabase]:
+        """Kickstart one template compute host off-fleet (golden image)."""
+        template_node = self.machine.compute_nodes[0]
+        host = Host(template_node, self.release)
+        host.hostname = "compute-image"
+        db = self._kickstart_host(
+            host,
+            graph,
+            distribution,
+            Profile.COMPUTE,
+            plan_cache=plan_cache,
+            inject=False,
+        )
+        return host, db
+
+    def run(
+        self,
+        *,
+        continue_on_error: bool = False,
+        wave_size: int = 1,
+        kernel=None,
+        materialize: bool = True,
+    ) -> ProvisionedCluster:
         """Perform the full installation and return the live cluster.
 
         With ``continue_on_error``, a compute node whose kickstart crashes
@@ -244,7 +323,24 @@ class RocksInstaller:
         out of the cluster's compute map (and hence out of any scheduler
         resources built from it); the install proceeds to the next node.
         Without it, the first crash raises :class:`ProvisionError`.
+
+        ``wave_size`` batches compute nodes into bounded-concurrency
+        install waves: each wave discovers its MACs in one insert-ethers
+        pass and its (identical) kickstart transactions share one
+        validated :class:`~repro.rpm.transaction.TransactionPlan` instead
+        of re-validating per node.  ``wave_size=1`` is the classic
+        node-at-a-time path.  Pass a ``kernel`` to emit one
+        ``install.wave`` trace event per wave (nodes as a folded NodeSet
+        string — MAC-free, so same-seed traces stay byte-identical).
+
+        ``materialize=False`` installs golden-image style: one template
+        compute host is kickstarted, per-node state (install state, cores,
+        memory) lands in the fleet table columns only, and
+        :meth:`ProvisionedCluster.host_for` materializes individual hosts
+        lazily.  This is what makes a 10k-node install tractable.
         """
+        if wave_size < 1:
+            raise RocksError(f"wave size must be positive, got {wave_size}")
         self._check_disks()
         graph = self._build_graph()
         distribution = self._build_distribution()
@@ -257,7 +353,7 @@ class RocksInstaller:
             frontend, graph, distribution, Profile.FRONTEND
         )
         rocksdb = RocksDatabase()
-        rocksdb.add_host(
+        head_row = rocksdb.add_host(
             HostRecord(
                 name=head.name,
                 mac=head.mac_address,
@@ -268,6 +364,8 @@ class RocksInstaller:
                 state=InstallState.INSTALLED,
             )
         )
+        head_row.cores = head.cores
+        head_row.mem_kb = head.memory_bytes / 1024
 
         # 2. PXE infrastructure served by the frontend.
         pxe = PxeServer(network.dhcp)
@@ -289,56 +387,138 @@ class RocksInstaller:
             scheduler_choice=self.scheduler,
         )
 
-        # 3. Power compute nodes on one at a time under insert-ethers.
-        # Each node is one journaled transaction: register (the database
-        # row insert-ethers writes) then install.  A frontend crash leaves
-        # the transaction open and recover_install() removes the
+        # 3. Power compute nodes on under insert-ethers — one at a time
+        # (the classic path) or in bounded-concurrency waves.  Each node is
+        # one journaled transaction: register (the database row
+        # insert-ethers writes) then install.  A frontend crash leaves the
+        # transaction open and recover_install() removes the
         # half-registered row; a *node*-side kickstart crash is a clean
         # abort (the FAILED record is deliberate state, not a phantom).
-        for node in self.machine.compute_nodes:
-            txn = (
-                self.journal.begin("rocks.install", mac=node.mac_address)
-                if self.journal is not None
-                else None
-            )
-            record = inserter.discover_boot(node.mac_address)
-            if txn is not None:
-                reg_op = self.journal.intent(
-                    txn, "register", name=record.name, mac=node.mac_address
+        compute_nodes = self.machine.compute_nodes
+        plan_cache: dict = {}
+
+        golden_db: RpmDatabase | None = None
+        if not materialize and compute_nodes:
+            golden = self._build_golden_image(graph, distribution, plan_cache)
+            golden_db = golden[1]
+            cluster.golden_image = golden
+
+            def _materialize_host(name: str) -> tuple[Host, RpmDatabase]:
+                rec = rocksdb.get(name)
+                node = next(
+                    n for n in compute_nodes if n.mac_address == rec.mac
                 )
-                self.journal.applied(txn, reg_op)
-            rocksdb.set_state(record.name, InstallState.INSTALLING)
-            compute_host = Host(node, self.release)
-            compute_host.hostname = record.name
-            install_op = (
-                self.journal.intent(txn, "install", name=record.name)
-                if txn is not None
-                else None
-            )
-            try:
-                compute_db = self._kickstart_host(
-                    compute_host, graph, distribution, Profile.COMPUTE
+                host = Host(node, self.release)
+                host.hostname = name
+                db = self._kickstart_host(
+                    host,
+                    graph,
+                    distribution,
+                    Profile.COMPUTE,
+                    plan_cache=plan_cache,
+                    inject=False,
                 )
-            except ProvisionError:
-                if not continue_on_error:
-                    if txn is not None:
-                        self.journal.abort(txn, note="kickstart failed")
-                    raise
-                rocksdb.set_state(record.name, InstallState.FAILED)
-                node.powered_on = False
-                pxe.clear_assignment(node.mac_address)
+                return host, db
+
+            cluster._materializer = _materialize_host
+
+        for wave_index, start in enumerate(
+            range(0, len(compute_nodes), wave_size)
+        ):
+            wave = compute_nodes[start : start + wave_size]
+            if wave_size == 1:
+                rows = None
+            else:
+                rows = inserter.discover_wave([n.mac_address for n in wave])
+            wave_names: list[str] = []
+            wave_pkgs = len(golden_db.names()) if golden_db is not None else 0
+            for pos, node in enumerate(wave):
+                txn = (
+                    self.journal.begin("rocks.install", mac=node.mac_address)
+                    if self.journal is not None
+                    else None
+                )
+                record = (
+                    rows[pos]
+                    if rows is not None
+                    else inserter.discover_boot(node.mac_address)
+                )
                 if txn is not None:
-                    self.journal.abort(
-                        txn, note="kickstart failed; node recorded FAILED"
+                    reg_op = self.journal.intent(
+                        txn, "register", name=record.name, mac=node.mac_address
                     )
-                continue
-            rocksdb.set_state(record.name, InstallState.INSTALLED)
-            pxe.clear_assignment(node.mac_address)
-            cluster.compute[record.name] = (compute_host, compute_db)
-            if txn is not None:
-                assert install_op is not None
-                self.journal.applied(txn, install_op)
-                self.journal.commit(txn)
+                    self.journal.applied(txn, reg_op)
+                rocksdb.set_state(record.name, InstallState.INSTALLING)
+                compute_host: Host | None = None
+                if materialize:
+                    compute_host = Host(node, self.release)
+                    compute_host.hostname = record.name
+                install_op = (
+                    self.journal.intent(txn, "install", name=record.name)
+                    if txn is not None
+                    else None
+                )
+                try:
+                    if materialize:
+                        assert compute_host is not None
+                        # wave_size=1 calls with the exact legacy signature
+                        # (tests wrap _kickstart_host positionally).
+                        if wave_size > 1:
+                            compute_db = self._kickstart_host(
+                                compute_host,
+                                graph,
+                                distribution,
+                                Profile.COMPUTE,
+                                plan_cache=plan_cache,
+                            )
+                        else:
+                            compute_db = self._kickstart_host(
+                                compute_host, graph, distribution,
+                                Profile.COMPUTE,
+                            )
+                    else:
+                        # Golden-image install: the image already holds the
+                        # packages; only the injected-crash check runs per
+                        # node.
+                        self._consume_crash(record.name, node.mac_address)
+                except ProvisionError:
+                    if not continue_on_error:
+                        if txn is not None:
+                            self.journal.abort(txn, note="kickstart failed")
+                        raise
+                    rocksdb.set_state(record.name, InstallState.FAILED)
+                    node.powered_on = False
+                    pxe.clear_assignment(node.mac_address)
+                    if txn is not None:
+                        self.journal.abort(
+                            txn, note="kickstart failed; node recorded FAILED"
+                        )
+                    continue
+                # Fill the node-facing fleet columns monitoring and the
+                # scheduler read straight off the table.
+                record.cores = node.cores
+                record.mem_kb = node.memory_bytes / 1024
+                rocksdb.set_state(record.name, InstallState.INSTALLED)
+                pxe.clear_assignment(node.mac_address)
+                if materialize:
+                    assert compute_host is not None
+                    cluster.compute[record.name] = (compute_host, compute_db)
+                    wave_pkgs = len(compute_db.names())
+                if txn is not None:
+                    assert install_op is not None
+                    self.journal.applied(txn, install_op)
+                    self.journal.commit(txn)
+                wave_names.append(record.name)
+            if kernel is not None and wave_names:
+                kernel.trace.emit(
+                    "install.wave",
+                    t_s=kernel.now_s,
+                    subsystem="rocks",
+                    wave=wave_index,
+                    nodes=fold_names(wave_names),
+                    count=len(wave_names),
+                    pkgs=wave_pkgs,
+                )
         return cluster
 
     def replace_node(
@@ -377,6 +557,9 @@ class RocksInstaller:
             host, cluster.graph, cluster.distribution, Profile.COMPUTE
         )
         cluster.compute[name] = (host, db)
+        record = cluster.rocksdb.get(name)
+        record.cores = node.cores
+        record.mem_kb = node.memory_bytes / 1024
         cluster.rocksdb.set_state(name, InstallState.INSTALLED)
         return host
 
@@ -395,6 +578,8 @@ class RocksInstaller:
             host, cluster.graph, cluster.distribution, Profile.COMPUTE
         )
         cluster.compute[name] = (host, db)
+        record.cores = node.cores
+        record.mem_kb = node.memory_bytes / 1024
         cluster.rocksdb.set_state(name, InstallState.INSTALLED)
         return host
 
@@ -436,8 +621,17 @@ def install_cluster(
     rolls: list[Roll] | None = None,
     scheduler: str = "torque",
     release: DistroRelease = CENTOS_6_5,
+    wave_size: int | None = None,
 ) -> ProvisionedCluster:
-    """Convenience wrapper: build and run a :class:`RocksInstaller`."""
+    """Convenience wrapper: build and run a :class:`RocksInstaller`.
+
+    ``wave_size=None`` auto-selects: small sites install node-at-a-time
+    (the classic insert-ethers cadence), campus-scale sites in waves of 32
+    with a shared transaction plan per wave — same resulting cluster,
+    linear instead of quadratic validation cost.
+    """
+    if wave_size is None:
+        wave_size = 32 if len(machine.compute_nodes) > 32 else 1
     return RocksInstaller(
         machine, rolls=rolls, scheduler=scheduler, release=release
-    ).run()
+    ).run(wave_size=wave_size)

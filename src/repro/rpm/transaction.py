@@ -48,7 +48,37 @@ from ..recovery.journal import Journal, JournalTxn, OpState
 from .database import RpmDatabase
 from .package import Package, Requirement
 
-__all__ = ["Transaction", "TransactionResult", "recover_transaction"]
+__all__ = [
+    "Transaction",
+    "TransactionPlan",
+    "TransactionResult",
+    "recover_transaction",
+]
+
+
+@dataclass(frozen=True)
+class TransactionPlan:
+    """A validated, ordered commit plan — shareable across identical hosts.
+
+    Validation (:meth:`Transaction.check_diagnostics`) and install ordering
+    (:meth:`Transaction._install_order`) are both O(n²) in the package set
+    and depend only on the DB contents, the host architecture, and the
+    queued package set.  A uniform install wave kickstarts hundreds of
+    hosts whose transactions are byte-for-byte identical, so one plan is
+    computed and every other host commits through
+    :meth:`Transaction.commit_planned`, which verifies the match keys below
+    and skips straight to execution.
+    """
+
+    #: :meth:`RpmDatabase.fingerprint` of the DB the plan was validated on
+    db_fingerprint: str
+    host_arch: str
+    #: sorted nevras of the queued installs (the set identity)
+    install_nevras: tuple[str, ...]
+    #: sorted names of the queued erases
+    erase_names: tuple[str, ...]
+    #: topological execution order for the installs
+    order_nevras: tuple[str, ...]
 
 
 @dataclass
@@ -279,6 +309,38 @@ class Transaction:
 
     # -- commit ----------------------------------------------------------------
 
+    @staticmethod
+    def _raise_check_problems(problems: list[Diagnostic]) -> None:
+        text = "; ".join(str(d) for d in problems)
+        codes = {d.code for d in problems}
+        if "TX705" in codes:
+            raise DependencyError(f"transaction check failed: {text}")
+        if "TX706" in codes:
+            raise ConflictError(f"transaction check failed: {text}")
+        raise TransactionError(f"transaction check failed: {text}")
+
+    def plan(self) -> TransactionPlan:
+        """Validate and order this transaction into a reusable plan.
+
+        Raises :class:`DependencyError` / :class:`ConflictError` /
+        :class:`TransactionError` (by problem type) exactly as
+        :meth:`commit` would, without touching the DB.
+        """
+        if self.is_empty:
+            raise TransactionError("empty transaction")
+        problems = self.check_diagnostics()
+        if problems:
+            self._raise_check_problems(problems)
+        return TransactionPlan(
+            db_fingerprint=self.db.fingerprint(),
+            host_arch=self.db.host.arch,
+            install_nevras=tuple(
+                sorted(p.nevra for p in self._installs.values())
+            ),
+            erase_names=tuple(sorted(self._erases)),
+            order_nevras=tuple(p.nevra for p in self._install_order()),
+        )
+
     def commit(self) -> TransactionResult:
         """Validate, order, and execute; atomic on failure.
 
@@ -288,17 +350,32 @@ class Transaction:
         (injectable in tests), already-applied operations are rolled back
         before the error propagates.
         """
+        return self.commit_planned(self.plan())
+
+    def commit_planned(self, plan: TransactionPlan) -> TransactionResult:
+        """Execute against a pre-validated :class:`TransactionPlan`.
+
+        The plan's match keys — DB fingerprint, host arch, install set,
+        erase set — are checked against *this* transaction; a match means
+        validation and ordering would reproduce the plan exactly, so both
+        are skipped.  A mismatch raises :class:`TransactionError` without
+        touching the DB (fall back to :meth:`commit`).  Execution,
+        journaling, and rollback are identical to :meth:`commit`.
+        """
         if self.is_empty:
             raise TransactionError("empty transaction")
-        problems = self.check_diagnostics()
-        if problems:
-            text = "; ".join(str(d) for d in problems)
-            codes = {d.code for d in problems}
-            if "TX705" in codes:
-                raise DependencyError(f"transaction check failed: {text}")
-            if "TX706" in codes:
-                raise ConflictError(f"transaction check failed: {text}")
-            raise TransactionError(f"transaction check failed: {text}")
+        by_nevra = {p.nevra: p for p in self._installs.values()}
+        if (
+            self.db.fingerprint() != plan.db_fingerprint
+            or self.db.host.arch != plan.host_arch
+            or tuple(sorted(by_nevra)) != plan.install_nevras
+            or tuple(sorted(self._erases)) != plan.erase_names
+        ):
+            raise TransactionError(
+                f"transaction on {self.db.host.name} does not match the "
+                f"shared plan (different DB state, architecture, or package "
+                f"set); commit() it individually"
+            )
 
         result = TransactionResult()
         upgrades_old: dict[str, Package] = {}
@@ -333,7 +410,7 @@ class Transaction:
                     upgrades_old[name] = old
                 else:
                     result.erased.append(old)
-            for pkg in self._install_order():
+            for pkg in (by_nevra[n] for n in plan.order_nevras):
                 op = journal.intent(
                     txn, "install", name=pkg.name, nevra=pkg.nevra, obj=pkg
                 )

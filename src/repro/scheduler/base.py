@@ -17,9 +17,11 @@ Invariants (tested property-style):
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
 from ..errors import NodeOfflineError, SchedulerError
+from ..fleet import FleetTable
 from ..hardware.chassis import Machine
 from ..sim import EventHandle, SimKernel
 from .job import Allocation, Job, JobState
@@ -41,6 +43,13 @@ class ClusterResources:
 
     ``exclude`` drops nodes entirely (e.g. nodes whose provisioning
     failed — they never become schedulable resources).
+
+    Storage is columnar: capacity and free cores live in parallel arrays
+    over name-sorted nodes, and the usability flags *are*
+    :class:`~repro.fleet.FleetTable` flag columns.  Built from a
+    :class:`Machine`, the table is private; built with :meth:`from_fleet`
+    it is the cluster's shared fleet table, so an offline/failed/drain
+    decision here is immediately visible to monitoring and vice versa.
     """
 
     def __init__(
@@ -55,40 +64,101 @@ class ClusterResources:
         nodes = [n for n in nodes if n.name not in exclude]
         if not nodes:
             raise SchedulerError(f"{machine.name}: no compute nodes to schedule on")
-        self._capacity: dict[str, int] = {n.name: n.cores for n in nodes}
-        self._free: dict[str, int] = dict(self._capacity)
-        self._offline: set[str] = set()
-        self._failed: set[str] = set()
-        self._draining: set[str] = set()
+        fleet = FleetTable()
+        for n in nodes:
+            fleet.add_row(
+                name=n.name,
+                appliance="compute",
+                state="os-installed",
+                cores=n.cores,
+            )
+        self._bind(fleet, list(range(len(nodes))))
+
+    @classmethod
+    def from_fleet(
+        cls,
+        fleet: FleetTable,
+        *,
+        label: str = "fleet",
+        use_head_for_jobs: bool = False,
+        exclude: set[str] | frozenset[str] = frozenset(),
+    ) -> "ClusterResources":
+        """Build resources directly over a cluster's fleet table.
+
+        Schedulable nodes are the live compute rows in install state
+        ``os-installed`` (a half-provisioned node never becomes capacity);
+        ``use_head_for_jobs`` admits the frontend row too.  The flag
+        columns are shared, not copied — this is the 10k-node path, where
+        rocks, the scheduler, and monitoring all read one table.
+        """
+        installed = fleet.state_code("os-installed")
+        indices = [
+            i
+            for i in fleet.ordered_indices()
+            if fleet.names[i] not in exclude
+            and fleet.states[i] == installed
+            and (use_head_for_jobs or fleet.appliances[i] == "compute")
+        ]
+        if not indices:
+            raise SchedulerError(f"{label}: no compute nodes to schedule on")
+        self = cls.__new__(cls)
+        self._bind(fleet, indices)
+        return self
+
+    def _bind(self, fleet: FleetTable, indices: list[int]) -> None:
+        """Wire the columnar views: name-sorted positions over fleet rows."""
+        order = sorted(indices, key=lambda i: fleet.names[i])
+        self._fleet = fleet
+        #: local position -> fleet row index
+        self._fidx = order
+        #: node names, sorted (the iteration order of every query below)
+        self._names = [fleet.names[i] for i in order]
+        self._pos = {name: p for p, name in enumerate(self._names)}
+        self._capv = array("l", (fleet.cores[i] for i in order))
+        self._freev = array("l", self._capv)
+
+    def _position(self, node: str) -> int:
+        try:
+            return self._pos[node]
+        except KeyError:
+            raise SchedulerError(f"unknown node {node}") from None
+
+    def _flag(self, column: str, pos: int) -> bool:
+        return bool(getattr(self._fleet, column)[self._fidx[pos]])
+
+    def _set_flag(self, column: str, pos: int, value: bool) -> None:
+        self._fleet.set_flag(column, self._fidx[pos], value)
+
+    def _mask(self, column: str) -> list[bool]:
+        """One flag column gathered over this view's positions."""
+        col = getattr(self._fleet, column)
+        return [bool(col[i]) for i in self._fidx]
 
     @property
     def total_cores(self) -> int:
         """Cores on all (online + offline) nodes."""
-        return sum(self._capacity.values())
+        return sum(self._capv)
 
     @property
     def online_cores(self) -> int:
         """Cores on online nodes."""
-        return sum(
-            c for n, c in self._capacity.items() if n not in self._offline
-        )
+        off = self._mask("offline")
+        return sum(c for p, c in enumerate(self._capv) if not off[p])
 
     def free_cores(self) -> int:
         """Currently unallocated cores on online nodes."""
-        return sum(c for n, c in self._free.items() if n not in self._offline)
+        off = self._mask("offline")
+        return sum(c for p, c in enumerate(self._freev) if not off[p])
 
     def node_names(self) -> list[str]:
-        return sorted(self._capacity)
+        return list(self._names)
 
     def capacity_of(self, node: str) -> int:
-        try:
-            return self._capacity[node]
-        except KeyError:
-            raise SchedulerError(f"unknown node {node}") from None
+        return self._capv[self._position(node)]
 
     def free_of(self, node: str) -> int:
-        self.capacity_of(node)
-        return 0 if node in self._offline else self._free[node]
+        pos = self._position(node)
+        return 0 if self._flag("offline", pos) else self._freev[pos]
 
     @property
     def usable_cores(self) -> int:
@@ -97,10 +167,12 @@ class ClusterResources:
         Powered-off nodes count (power management can bring them back);
         failed ones do not until :meth:`restore_node`.
         """
+        bad_f = self._mask("failed")
+        bad_d = self._mask("draining")
         return sum(
             c
-            for n, c in self._capacity.items()
-            if n not in self._failed and n not in self._draining
+            for p, c in enumerate(self._capv)
+            if not bad_f[p] and not bad_d[p]
         )
 
     def set_offline(self, node: str, offline: bool) -> None:
@@ -109,20 +181,20 @@ class ClusterResources:
         A node with allocated cores cannot go offline; a failed node
         cannot come back online until :meth:`restore_node`.
         """
-        self.capacity_of(node)
+        pos = self._position(node)
         if offline:
-            if self._free[node] != self._capacity[node]:
+            if self._freev[pos] != self._capv[pos]:
                 raise SchedulerError(f"node {node} is busy; cannot take offline")
-            self._offline.add(node)
+            self._set_flag("offline", pos, True)
         else:
-            if node in self._failed:
+            if self._flag("failed", pos):
                 raise NodeOfflineError(
                     f"node {node} has failed; restore it before bringing online"
                 )
-            self._offline.discard(node)
+            self._set_flag("offline", pos, False)
 
     def is_offline(self, node: str) -> bool:
-        return node in self._offline
+        return self._flag("offline", self._position(node))
 
     def fail_node(self, node: str) -> None:
         """Record a hardware failure: offline now, and power management
@@ -131,42 +203,40 @@ class ClusterResources:
         The caller (the scheduler) releases any allocations on the node
         first — a failed node's cores are gone, not leaked.
         """
-        self.capacity_of(node)
-        if self._free[node] != self._capacity[node]:
+        pos = self._position(node)
+        if self._freev[pos] != self._capv[pos]:
             raise SchedulerError(
                 f"node {node} still holds allocations; requeue its jobs "
                 f"before marking it failed"
             )
-        self._failed.add(node)
-        self._offline.add(node)
-        self._draining.discard(node)
+        self._set_flag("failed", pos, True)
+        self._set_flag("offline", pos, True)
+        self._set_flag("draining", pos, False)
 
     def restore_node(self, node: str) -> None:
         """Bring a failed (or offline/draining) node back into service."""
-        self.capacity_of(node)
-        self._failed.discard(node)
-        self._draining.discard(node)
-        self._offline.discard(node)
+        pos = self._position(node)
+        self._set_flag("failed", pos, False)
+        self._set_flag("draining", pos, False)
+        self._set_flag("offline", pos, False)
 
     def is_failed(self, node: str) -> bool:
-        return node in self._failed
+        return self._flag("failed", self._position(node))
 
     def failed_nodes(self) -> list[str]:
-        return sorted(self._failed)
+        mask = self._mask("failed")
+        return [n for p, n in enumerate(self._names) if mask[p]]
 
     def set_draining(self, node: str, draining: bool) -> None:
         """Start/stop a drain: no new allocations, running work finishes."""
-        self.capacity_of(node)
-        if draining:
-            self._draining.add(node)
-        else:
-            self._draining.discard(node)
+        self._set_flag("draining", self._position(node), draining)
 
     def is_draining(self, node: str) -> bool:
-        return node in self._draining
+        return self._flag("draining", self._position(node))
 
     def draining_nodes(self) -> list[str]:
-        return sorted(self._draining)
+        mask = self._mask("draining")
+        return [n for p, n in enumerate(self._names) if mask[p]]
 
     def try_allocate(self, cores: int) -> Allocation | None:
         """First-fit-decreasing allocation across online nodes, or None.
@@ -176,70 +246,85 @@ class ClusterResources:
         """
         if cores <= 0:
             raise SchedulerError(f"cannot allocate {cores} cores")
-        chunks: list[tuple[str, int]] = []
-        remaining = cores
+        free = self._freev
+        off = self._mask("offline")
+        drain = self._mask("draining")
         candidates = sorted(
             (
-                n
-                for n in self._capacity
-                if n not in self._offline
-                and n not in self._draining
-                and self._free[n] > 0
+                p
+                for p in range(len(self._names))
+                if not off[p] and not drain[p] and free[p] > 0
             ),
-            key=lambda n: (-self._free[n], n),
+            key=lambda p: (-free[p], self._names[p]),
         )
-        for node in candidates:
-            take = min(self._free[node], remaining)
-            chunks.append((node, take))
+        chunks: list[tuple[str, int]] = []
+        positions: list[tuple[int, int]] = []
+        remaining = cores
+        for pos in candidates:
+            take = min(free[pos], remaining)
+            chunks.append((self._names[pos], take))
+            positions.append((pos, take))
             remaining -= take
             if remaining == 0:
                 break
         if remaining > 0:
             return None
-        for node, take in chunks:
-            self._free[node] -= take
+        for pos, take in positions:
+            free[pos] -= take
+            # Mirror allocated cores into the fleet load column so
+            # monitoring leaves read live load straight off the table.
+            self._fleet.set_load(
+                self._fidx[pos], float(self._capv[pos] - free[pos])
+            )
         return Allocation(by_node=tuple(chunks))
 
     def release(self, allocation: Allocation) -> None:
         """Return an allocation's cores."""
         for node, count in allocation.by_node:
-            self.capacity_of(node)
-            if self._free[node] + count > self._capacity[node]:
+            pos = self._position(node)
+            if self._freev[pos] + count > self._capv[pos]:
                 raise SchedulerError(
-                    f"double free on node {node}: {self._free[node]}+{count} "
-                    f"> {self._capacity[node]}"
+                    f"double free on node {node}: {self._freev[pos]}+{count} "
+                    f"> {self._capv[pos]}"
                 )
-            self._free[node] += count
+            self._freev[pos] += count
+            self._fleet.set_load(
+                self._fidx[pos], float(self._capv[pos] - self._freev[pos])
+            )
 
     def is_idle(self, node: str) -> bool:
         """True when no cores are allocated on the node (any flag state)."""
-        self.capacity_of(node)
-        return self._free[node] == self._capacity[node]
+        pos = self._position(node)
+        return self._freev[pos] == self._capv[pos]
 
     def busy_nodes(self) -> list[str]:
         """Nodes with at least one allocated core."""
-        return sorted(
+        off = self._mask("offline")
+        return [
             n
-            for n in self._capacity
-            if n not in self._offline and self._free[n] < self._capacity[n]
-        )
+            for p, n in enumerate(self._names)
+            if not off[p] and self._freev[p] < self._capv[p]
+        ]
 
     def idle_nodes(self) -> list[str]:
         """Online nodes with all cores free."""
-        return sorted(
+        off = self._mask("offline")
+        return [
             n
-            for n in self._capacity
-            if n not in self._offline and self._free[n] == self._capacity[n]
-        )
+            for p, n in enumerate(self._names)
+            if not off[p] and self._freev[p] == self._capv[p]
+        ]
 
     def state_dict(self) -> dict[str, object]:
         """JSON-friendly snapshot of all per-node accounting and flags."""
         return {
-            "capacity": dict(sorted(self._capacity.items())),
-            "free": dict(sorted(self._free.items())),
-            "offline": sorted(self._offline),
-            "failed": sorted(self._failed),
-            "draining": sorted(self._draining),
+            "capacity": dict(zip(self._names, self._capv)),
+            "free": dict(zip(self._names, self._freev)),
+            "offline": [
+                n for p, n in enumerate(self._names) if self._flag("offline", p)
+            ],
+            "failed": self.failed_nodes(),
+            "draining": self.draining_nodes(),
         }
 
 

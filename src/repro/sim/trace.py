@@ -76,6 +76,21 @@ EVENT_SCHEMA: dict[str, dict[str, type]] = {
     "recover.undrain": {"node": str},
     "recover.resubmit": {"job": str, "attempt": int},
     "recover.reinstall": {"node": str, "attempt": int, "ok": bool},
+    # fleet-scale installs and hierarchical monitoring (repro.fleet)
+    "install.wave": {"wave": int, "nodes": str, "count": int, "pkgs": int},
+    "monitor.rack": {
+        "rack": str,
+        "hosts_up": int,
+        "hosts_total": int,
+        "load_total": float,
+    },
+    "monitor.rollup": {
+        "racks": int,
+        "changed": int,
+        "hosts_up": int,
+        "hosts_total": int,
+        "load_total": float,
+    },
 }
 
 

@@ -77,6 +77,13 @@ def test_cluster_shell_session():
     assert "rocks list host" in output
 
 
+def test_fleet_wave_install():
+    output = run_example("fleet_wave_install")
+    assert "traces byte-identical: True" in output
+    assert "compute-0-[0-63]" in output      # folded wave addresses
+    assert "dead: ['compute-0-17']" in output  # hierarchical dead-host path
+
+
 def test_rebuild_table3_fleet():
     output = run_example("rebuild_table3_fleet")
     assert "304   2708  49.61" in output

@@ -1,0 +1,424 @@
+"""The fleet-scale substrate: FleetTable/NodeSet properties, wave-scheduled
+installs, golden-image mode, and the hierarchical monitoring tree.
+
+The hypothesis suites are the load-bearing contracts of the columnar
+refactor: row proxies must agree with a legacy per-node reference model
+under arbitrary mutation sequences, and NodeSet fold/expand must round-trip
+for arbitrary range unions — the folded address in ``install.wave`` events
+is only trustworthy if parsing it back yields exactly the wave's members.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FleetError, RocksError
+from repro.fleet import FleetTable, NodeSet, RangeSet, fold_names
+from repro.monitoring import monitor_fleet
+from repro.rocks import InstallState, RocksInstaller
+from repro.scheduler import ClusterResources
+from repro.sim import SimKernel
+
+
+# -- NodeSet / RangeSet properties -----------------------------------------------
+
+
+range_unions = st.lists(
+    st.tuples(st.integers(0, 400), st.integers(0, 30)), min_size=0, max_size=12
+)
+
+
+@given(range_unions)
+@settings(max_examples=60, deadline=None)
+def test_rangeset_fold_parse_roundtrip(spans):
+    """parse(fold(r)) == r for arbitrary interval unions."""
+    rset = RangeSet((lo, lo + width) for lo, width in spans)
+    assert set(RangeSet.parse(rset.fold())) == set(rset) if rset else not rset
+    if rset:
+        assert RangeSet.parse(rset.fold()) == rset
+
+
+@given(range_unions, range_unions)
+@settings(max_examples=60, deadline=None)
+def test_rangeset_algebra_matches_set_semantics(a_spans, b_spans):
+    """Interval-merge algebra agrees with Python set algebra member-for-member."""
+    a = RangeSet((lo, lo + w) for lo, w in a_spans)
+    b = RangeSet((lo, lo + w) for lo, w in b_spans)
+    sa, sb = set(a), set(b)
+    assert set(a | b) == sa | sb
+    assert set(a & b) == sa & sb
+    assert set(a - b) == sa - sb
+    assert set(a ^ b) == sa ^ sb
+
+
+node_names = st.lists(
+    st.one_of(
+        st.builds(
+            lambda p, n: f"{p}{n}",
+            st.sampled_from(["compute-0-", "compute-1-", "gpu-", "n"]),
+            st.integers(0, 9999),
+        ),
+        st.sampled_from(["head", "nas", "login"]),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+@given(node_names)
+@settings(max_examples=60, deadline=None)
+def test_nodeset_fold_expand_roundtrip(names):
+    """from_names -> fold -> parse -> expand recovers exactly the name set."""
+    ns = NodeSet.from_names(names)
+    assert len(ns) == len(set(names))
+    parsed = NodeSet.parse(ns.fold())
+    assert parsed == ns
+    assert set(parsed.expand()) == set(names)
+    # expansion order is a stable total order (deterministic trace addresses)
+    assert parsed.expand() == NodeSet.parse(ns.fold()).expand()
+
+
+@given(node_names, node_names)
+@settings(max_examples=60, deadline=None)
+def test_nodeset_algebra_matches_set_semantics(a_names, b_names):
+    a, b = NodeSet.from_names(a_names), NodeSet.from_names(b_names)
+    sa, sb = set(a_names), set(b_names)
+    assert set((a | b).expand()) == sa | sb
+    assert set((a & b).expand()) == sa & sb
+    assert set((a - b).expand()) == sa - sb
+    assert set((a ^ b).expand()) == sa ^ sb
+
+
+@given(node_names, st.integers(1, 7))
+@settings(max_examples=40, deadline=None)
+def test_nodeset_split_partitions(names, size):
+    """split() chunks cover every member exactly once, each within bound."""
+    ns = NodeSet.from_names(names)
+    waves = list(ns.split(size))
+    assert all(len(w) <= size for w in waves)
+    seen: list[str] = []
+    for wave in waves:
+        seen.extend(wave.expand())
+    assert sorted(seen) == sorted(set(names))
+
+
+def test_nodeset_padding_and_groups():
+    ns = NodeSet.parse("rack[001-003]", groups=None)
+    assert ns.expand() == ["rack001", "rack002", "rack003"]
+    groups = {"computes": "compute-0-[0-3]", "all": NodeSet.parse("head")}
+    resolved = NodeSet.parse("@computes,@all", groups=groups)
+    assert len(resolved) == 5
+    with pytest.raises(FleetError):
+        NodeSet.parse("@nosuch")
+    with pytest.raises(FleetError):
+        NodeSet.parse("rack[0-1")
+
+
+def test_fold_names_is_compact():
+    assert fold_names(f"compute-0-{i}" for i in range(100)) == "compute-0-[0-99]"
+
+
+# -- FleetTable vs a legacy per-node reference model -----------------------------
+
+
+class _LegacyNode:
+    """The pre-columnar shape: one mutable object per node."""
+
+    def __init__(self, name, rack, rank):
+        self.name = name
+        self.rack = rack
+        self.rank = rank
+        self.appliance = "compute"
+        self.state = "discovered"
+        self.cores = 0
+        self.load = 0.0
+        self.powered_on = True
+        self.responsive = True
+        self.offline = False
+        self.failed = False
+        self.draining = False
+
+
+#: (op, node index, value) — install/fail/drain/power, the ops the
+#: installer, fault injector, and scheduler actually perform.
+mutation_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["install", "fail", "drain", "undrain", "power", "offline",
+             "unresponsive", "cores", "load", "remove"]
+        ),
+        st.integers(0, 15),
+        st.integers(0, 64),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+@given(mutation_ops)
+@settings(max_examples=60, deadline=None)
+def test_fleet_rows_agree_with_legacy_objects(ops):
+    """Row proxies and per-node objects stay identical through arbitrary
+    install/fail/drain/power mutation sequences."""
+    table = FleetTable()
+    legacy: dict[str, _LegacyNode] = {}
+    removed: set[str] = set()
+    for i in range(16):
+        name = f"compute-{i // 8}-{i % 8}"
+        table.add_row(name=name, rack=i // 8, rank=i % 8)
+        legacy[name] = _LegacyNode(name, i // 8, i % 8)
+
+    for op, idx, value in ops:
+        name = f"compute-{idx // 8}-{idx % 8}"
+        if name in removed:
+            continue
+        row, ref = table.by_name(name), legacy[name]
+        if op == "install":
+            row.state = "os-installed"
+            ref.state = "os-installed"
+        elif op == "fail":
+            table.set_flag("failed", row.index, True)
+            ref.failed = True
+        elif op == "drain":
+            table.set_flag("draining", row.index, True)
+            ref.draining = True
+        elif op == "undrain":
+            table.set_flag("draining", row.index, False)
+            ref.draining = False
+        elif op == "power":
+            row.powered_on = value % 2 == 0
+            ref.powered_on = value % 2 == 0
+        elif op == "offline":
+            table.set_flag("offline", row.index, True)
+            ref.offline = True
+        elif op == "unresponsive":
+            row.responsive = value % 2 == 0
+            ref.responsive = value % 2 == 0
+        elif op == "cores":
+            row.cores = value
+            ref.cores = value
+        elif op == "load":
+            row.load = float(value)
+            ref.load = float(value)
+        elif op == "remove":
+            table.remove(name)
+            removed.add(name)
+
+    live = {n: ref for n, ref in legacy.items() if n not in removed}
+    assert {r.name for r in table.rows()} == set(live)
+    assert len(table) == len(live)
+    for name, ref in live.items():
+        row = table.by_name(name)
+        assert row.state == ref.state
+        assert row.cores == ref.cores
+        assert row.load == ref.load
+        assert row.powered_on == ref.powered_on
+        assert row.responsive == ref.responsive
+        assert bool(table.failed[row.index]) == ref.failed
+        assert bool(table.draining[row.index]) == ref.draining
+        assert bool(table.offline[row.index]) == ref.offline
+        assert (row.rack, row.rank) == (ref.rack, ref.rank)
+    # column-scan aggregate agrees with an object walk
+    assert table.count_state("os-installed") == sum(
+        1 for ref in live.values() if ref.state == "os-installed"
+    )
+
+
+def test_fleet_table_basics():
+    table = FleetTable()
+    row = table.add_row(name="compute-0-0", mac="aa:bb", rack=0, rank=0)
+    assert table.by_mac("aa:bb") is row  # cached proxies are identity-stable
+    with pytest.raises(FleetError):
+        table.add_row(name="compute-0-0")
+    with pytest.raises(FleetError):
+        table.add_row(name="other", mac="aa:bb")
+    epoch = table.epoch
+    row.state = "installing"
+    assert table.epoch > epoch  # every mutation bumps the epoch
+    table.remove("compute-0-0")
+    assert not row.alive and table.row_count == 1 and len(table) == 0
+    with pytest.raises(FleetError):
+        table.by_name("compute-0-0")
+
+
+def test_fleet_nodeset_select_roundtrip():
+    table = FleetTable()
+    for i in range(12):
+        table.add_row(name=f"compute-0-{i}", rack=0, rank=i)
+    ns = table.nodeset()
+    assert str(ns) == "compute-0-[0-11]"
+    assert table.select(ns) == table.ordered_indices()
+
+
+# -- wave installs ----------------------------------------------------------------
+
+
+def _states(cluster):
+    return {r.name: r.state for r in cluster.rocksdb.hosts()}
+
+
+def test_wave_install_matches_sequential():
+    """Waves of 3 and node-at-a-time produce the same cluster (names, IPs,
+    states, per-node package sets); only MACs differ (hardware serials)."""
+    from repro.hardware import build_littlefe_modified
+
+    seq = RocksInstaller(build_littlefe_modified().machine).run(wave_size=1)
+    wav = RocksInstaller(build_littlefe_modified().machine).run(wave_size=3)
+    assert _states(seq) == _states(wav)
+    assert {r.name: r.ip for r in seq.rocksdb.hosts()} == {
+        r.name: r.ip for r in wav.rocksdb.hosts()
+    }
+    assert sorted(seq.compute) == sorted(wav.compute)
+    for name in seq.compute:
+        assert seq.compute[name][1].names() == wav.compute[name][1].names()
+    assert seq.installed_everywhere() == wav.installed_everywhere()
+
+
+def test_wave_install_emits_folded_trace(littlefe_machine):
+    kernel = SimKernel(seed=3)
+    RocksInstaller(littlefe_machine).run(wave_size=4, kernel=kernel)
+    waves = [e for e in kernel.trace.events if e.kind == "install.wave"]
+    assert [e.data["count"] for e in waves] == [4, 1]
+    assert waves[0].data["nodes"] == "compute-0-[0-3]"
+    assert waves[0].data["pkgs"] > 0
+    # the folded address expands back to exactly the wave's members
+    assert NodeSet.parse(waves[0].data["nodes"]).expand() == [
+        f"compute-0-{i}" for i in range(4)
+    ]
+
+
+def test_wave_size_validation(littlefe_machine):
+    with pytest.raises(RocksError):
+        RocksInstaller(littlefe_machine).run(wave_size=0)
+
+
+def test_golden_image_install(littlefe_machine):
+    """materialize=False installs per-node state in fleet columns only and
+    materializes hosts lazily on first access."""
+    cluster = RocksInstaller(littlefe_machine).run(wave_size=4, materialize=False)
+    assert cluster.golden_image is not None
+    assert cluster.compute == {}  # nothing materialized yet
+    names = [r.name for r in cluster.rocksdb.compute_hosts()]
+    assert all(
+        r.state is InstallState.INSTALLED for r in cluster.rocksdb.compute_hosts()
+    )
+    host = cluster.host_for(names[0])
+    assert names[0] in cluster.compute  # cached after materialization
+    assert cluster.db_for(host).names() == cluster.golden_image[1].names()
+    row = cluster.rocksdb.get(names[0])
+    assert row.cores > 0 and row.mem_kb > 0
+    with pytest.raises(RocksError):
+        cluster.host_for("compute-9-9")
+
+
+# -- hierarchical monitoring -------------------------------------------------------
+
+
+def test_monitor_fleet_tree_and_dead_host(littlefe_machine):
+    kernel = SimKernel(seed=5)
+    cluster = RocksInstaller(littlefe_machine).run(wave_size=3, kernel=kernel)
+    tree = monitor_fleet(cluster, hosts_per_rack=2, kernel=kernel)
+    assert len(tree.racks()) == 3  # 6 hosts, 2 per leaf
+
+    summary = tree.poll_cycle()
+    assert summary.hosts_up == 6
+    # quiet fleet: second cycle changes nothing (epoch fast path)
+    tree.poll_cycle()
+    rollups = [e for e in kernel.trace.events if e.kind == "monitor.rollup"]
+    assert rollups[-1].data["changed"] == 0
+
+    victim = cluster.rocksdb.compute_hosts()[0]
+    victim.responsive = False
+    for _ in range(3):
+        tree.poll_cycle()
+    dead = [e for e in kernel.trace.events if e.kind == "monitor.host_dead"]
+    assert [e.data["host"] for e in dead] == [victim.name]
+    assert tree.dead_hosts() == [victim.name]
+    victim.responsive = True
+    tree.poll_cycle()
+    assert tree.dead_hosts() == []
+
+
+def test_monitor_rack_event_shape(littlefe_machine):
+    kernel = SimKernel(seed=6)
+    cluster = RocksInstaller(littlefe_machine).run(wave_size=3, kernel=kernel)
+    tree = monitor_fleet(cluster, hosts_per_rack=4, kernel=kernel)
+    tree.poll_cycle()
+    racks = [e for e in kernel.trace.events if e.kind == "monitor.rack"]
+    assert {e.data["rack"] for e in racks} == {"rack000", "rack001"}
+    assert all(e.data["hosts_up"] == e.data["hosts_total"] for e in racks)
+
+
+# -- scheduler over fleet columns --------------------------------------------------
+
+
+def test_cluster_resources_from_fleet(littlefe_machine):
+    cluster = RocksInstaller(littlefe_machine).run(wave_size=3)
+    fleet = cluster.rocksdb.fleet
+    resources = ClusterResources.from_fleet(fleet)
+    machine_built = ClusterResources(littlefe_machine)
+    assert resources.total_cores == machine_built.total_cores
+    assert len(resources.node_names()) == len(machine_built.node_names())
+
+    allocation = resources.try_allocate(2)
+    assert allocation is not None
+    # allocated cores are mirrored into the fleet's load column
+    busy = {
+        fleet.names[i]: fleet.load[i]
+        for i in fleet.compute_indices()
+        if fleet.load[i] > 0
+    }
+    assert sum(busy.values()) == 2.0
+    resources.release(allocation)
+    assert all(fleet.load[i] == 0.0 for i in fleet.compute_indices())
+
+    # usability masks are fleet columns: failing via one view is visible
+    # in the other layers that share the table
+    victim = resources.node_names()[0]
+    resources.fail_node(victim)
+    assert fleet.failed[fleet.index_of(victim)] == 1
+    assert victim in resources.failed_nodes()
+
+
+def test_cluster_resources_from_fleet_rejects_empty():
+    from repro.errors import SchedulerError
+
+    fleet = FleetTable(state_values=tuple(InstallState))
+    fleet.add_row(name="head", appliance="frontend", state=InstallState.INSTALLED)
+    with pytest.raises(SchedulerError):
+        ClusterResources.from_fleet(fleet, label="empty-site")
+
+
+# -- determinism at scale ----------------------------------------------------------
+
+
+def test_fleet_cycle_same_seed_traces_identical():
+    """The bench_scale_10k contract at test scale: build + wave install +
+    one monitoring cycle twice with one seed -> byte-identical traces."""
+    from repro.core.deployments import build_synthetic_fleet
+
+    def cycle():
+        machine = build_synthetic_fleet(65)
+        kernel = SimKernel(seed=11)
+        cluster = RocksInstaller(machine).run(
+            wave_size=16, kernel=kernel, materialize=False
+        )
+        monitor_fleet(cluster, kernel=kernel).poll_cycle()
+        return kernel.trace.to_jsonl()
+
+    assert cycle() == cycle()
+
+
+def test_synthetic_fleet_builder_validation():
+    from repro.core.deployments import build_synthetic_fleet
+    from repro.errors import DeploymentError
+
+    machine = build_synthetic_fleet(8, cores_per_node=4)
+    assert len(machine.compute_nodes) == 7
+    assert machine.total_cores == 32
+    with pytest.raises(DeploymentError):
+        build_synthetic_fleet(1)
+    with pytest.raises(DeploymentError):
+        build_synthetic_fleet(4, cores_per_node=0)
