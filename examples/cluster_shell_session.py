@@ -4,8 +4,10 @@
 Everything a Section 6 class types in its first lab, executed against the
 simulation through :class:`repro.cli.ClusterShell`: inspect the cluster,
 query packages, load modules, submit work, watch the queue and the
-monitoring dashboard, hop to a compute node, and pull one extra tool from
-XNIT.
+monitoring dashboard, hop to a compute node, pull one extra tool from
+XNIT, and finish with the parallel admin plane — ``nodeset`` arithmetic,
+a ``clush`` fan-out across every compute node, and ``clubak`` folding the
+identical answers under one NodeSet label.
 """
 
 from repro.cli import ClusterShell
@@ -40,6 +42,11 @@ SESSION = [
     "which mdrun",
     "ssh littlefe-iu-n0",
     "useradd student2",
+    "nodeset --fold compute-0-0,compute-0-1,compute-0-2",
+    "nodeset --count @compute",
+    "clush -w @compute -f 2 hostname",
+    "clush -b -w @compute cat /etc/redhat-release",
+    "clubak",
 ]
 
 

@@ -17,9 +17,11 @@ from dataclasses import dataclass, field
 from .distro.host import Host
 from .distro.modules_env import ModuleSession
 from .errors import CommandError, ReproError
+from .fleet import NodeSet
 from .rocks.installer import ProvisionedCluster
 from .scheduler.base import BaseScheduler
 from .scheduler.job import Job
+from .shell import ShellCommand, ShellEngine, render_groups
 from .yum.client import YumClient
 from .yum.repository import Repository
 
@@ -62,6 +64,8 @@ class ClusterShell:
         self.current: Host = cluster.frontend
         self._yum_clients: dict[str, YumClient] = {}
         self._module_sessions: dict[str, ModuleSession] = {}
+        self._shell_engine: ShellEngine | None = None
+        self._last_clush = None
         self.history: list[ShellResult] = []
 
     # -- plumbing -----------------------------------------------------------------
@@ -255,6 +259,115 @@ class ClusterShell:
             "usage: rocks list host | rocks list roll | "
             "rocks run host [selector] <command>"
         )
+
+    # -- parallel admin execution (clush / clubak / nodeset) ---------------------------
+
+    def _fleet_groups(self) -> dict[str, NodeSet]:
+        """``@appliance`` groups (plus ``@all``) over the live fleet table."""
+        fleet = self.cluster.rocksdb.fleet
+        names: dict[str, list[str]] = {}
+        for i in fleet.ordered_indices():
+            names.setdefault(fleet.appliances[i], []).append(fleet.names[i])
+        groups = {
+            appliance: NodeSet.from_names(members)
+            for appliance, members in sorted(names.items())
+        }
+        groups["all"] = fleet.nodeset()
+        return groups
+
+    def _engine(self) -> ShellEngine:
+        """The lazily-built fan-out engine, on the scheduler's kernel when
+        there is one (so clush time shares the cluster's timeline)."""
+        if self._shell_engine is None:
+            kernel = self.scheduler.kernel if self.scheduler is not None else None
+            self._shell_engine = ShellEngine(
+                self.cluster.rocksdb.fleet, kernel=kernel
+            )
+        return self._shell_engine
+
+    def _cmd_nodeset(self, args: list[str]) -> str:
+        """nodeset --fold|--expand|--count <expr>...: NodeSet arithmetic."""
+        modes = ("--fold", "-f", "--expand", "-e", "--count", "-c")
+        if len(args) < 2 or args[0] not in modes:
+            raise CommandError("usage: nodeset --fold|--expand|--count <nodeset>...")
+        mode, groups = args[0], self._fleet_groups()
+        nodes = NodeSet()
+        for expr in args[1:]:
+            nodes = nodes | NodeSet.parse(expr, groups=groups)
+        if mode in ("--fold", "-f"):
+            return nodes.fold()
+        if mode in ("--expand", "-e"):
+            return " ".join(nodes)
+        return str(len(nodes))
+
+    def _cmd_clush(self, args: list[str]) -> str:
+        """clush -w <nodeset> [-b] [-f fanout] [-t timeout] <command>."""
+        nodes_expr: str | None = None
+        fanout, timeout_s, fold_output = 32, 30.0, False
+        rest: list[str] = []
+        i = 0
+        while i < len(args):
+            arg = args[i]
+            if arg == "-w" and i + 1 < len(args):
+                nodes_expr = args[i + 1]
+                i += 2
+            elif arg == "-f" and i + 1 < len(args):
+                fanout = int(args[i + 1])
+                i += 2
+            elif arg == "-t" and i + 1 < len(args):
+                timeout_s = float(args[i + 1])
+                i += 2
+            elif arg == "-b":
+                fold_output = True
+                i += 1
+            else:
+                rest = args[i:]
+                break
+        if nodes_expr is None or not rest:
+            raise CommandError(
+                "usage: clush -w <nodeset> [-b] [-f fanout] [-t timeout_s] "
+                "<command>"
+            )
+        targets = NodeSet.parse(nodes_expr, groups=self._fleet_groups())
+        line = " ".join(rest)
+
+        def on_node(node: str) -> tuple[int, str]:
+            saved = self.current
+            try:
+                self.current = self.cluster.host_for(node)
+                result = self.run(line)
+                first = result.output.splitlines()[0] if result.output else ""
+                return (0 if result.ok else 1), first
+            finally:
+                self.current = saved
+
+        report = self._engine().run(
+            targets,
+            ShellCommand(line, duration_s=0.5, handler=on_node),
+            fanout=fanout,
+            timeout_s=timeout_s,
+        )
+        self._last_clush = report
+        if fold_output:
+            return report.render()
+        lines = []
+        for name, result in report.results.items():
+            if result.status == "skipped":
+                lines.append(f"clush: {name}: skipped ({result.reason})")
+            elif result.rc is None:
+                lines.append(f"clush: {name}: {result.reason}")
+            else:
+                lines.append(f"{name}: {result.output}")
+        ok, failed, skipped = report.counts()
+        lines.append(f"clush: {ok} ok, {failed} failed, {skipped} skipped")
+        return "\n".join(lines)
+
+    def _cmd_clubak(self, args: list[str]) -> str:
+        """clubak: fold the last clush run's outputs under NodeSet labels."""
+        if self._last_clush is None:
+            raise CommandError("clubak: no clush output to fold (run clush first)")
+        folded = render_groups(self._last_clush.groups())
+        return folded if folded else "(no output)"
 
     # -- modules -----------------------------------------------------------------------------
 

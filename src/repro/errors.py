@@ -48,6 +48,7 @@ __all__ = [
     "CheckpointError",
     "SchedulerError",
     "JobError",
+    "ShellError",
     "LinpackError",
     "CompatibilityError",
     "DeploymentError",
@@ -264,6 +265,13 @@ class SchedulerError(ReproError):
 
 class JobError(SchedulerError):
     """Invalid job specification or state transition."""
+
+
+# --- parallel admin execution (repro.shell) --------------------------------------
+
+
+class ShellError(ReproError):
+    """Invalid parallel-execution request or a command transport failure."""
 
 
 # --- linpack / core -------------------------------------------------------------

@@ -546,4 +546,14 @@ def _audit(
                 report.violations.append(
                     f"crashed node {target} never declared dead by gmetad"
                 )
+
+    # 7. rolling-update confluence: a completed sweep leaves no node
+    #    draining and no wave both succeeded and aborted (vacuous unless
+    #    the run drove repro.shell's RollingUpdate)
+    from ..shell import rolling_confluence_problems
+
+    for problem in rolling_confluence_problems(
+        trace.events, resources=resources
+    ):
+        report.violations.append(f"rolling: {problem}")
     return report

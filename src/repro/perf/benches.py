@@ -304,6 +304,64 @@ def bench_scale_10k(quick: bool = False) -> BenchResult:
     return BenchResult("bench_scale_10k", node_count / wall, wall, node_count)
 
 
+def bench_shell_fanout(quick: bool = False) -> BenchResult:
+    """Parallel admin plane: one ``clush``-style sweep across a bare
+    10,000-node FleetTable (fanout 64, jittered durations, a sprinkling of
+    flaky nodes burning retries).  The sweep runs **twice with the same
+    seed** and the traces must be byte-identical — determinism under
+    retries is the contract.  Quick mode sweeps 1,000 nodes.  ``n`` counts
+    nodes swept."""
+    from ..errors import ShellError
+    from ..fleet import FleetTable
+    from ..shell import ShellCommand, ShellEngine
+    from ..sim import SimKernel
+
+    node_count = 1_000 if quick else 10_000
+    per_rack = 400
+
+    def build() -> FleetTable:
+        fleet = FleetTable()
+        for i in range(node_count):
+            fleet.add_row(
+                name=f"compute-{i // per_rack}-{i % per_rack}",
+                appliance="compute", rack=i // per_rack, rank=i % per_rack,
+                cores=8, state="os-installed",
+            )
+        return fleet
+
+    def handler(node: str) -> tuple[int, str]:
+        # every 97th node refuses its first conversation's worth of time
+        if int(node.rsplit("-", 1)[1]) % 97 == 96:
+            raise ShellError("connection refused")
+        return 0, "ok"
+
+    def sweep() -> tuple[float, str]:
+        fleet = build()
+        kernel = SimKernel(seed=64)
+        engine = ShellEngine(fleet, kernel=kernel)
+        t0 = time.perf_counter()
+        report = engine.run(
+            fleet.nodeset(),
+            ShellCommand("uptime", duration_s=5.0, jitter=0.2,
+                         handler=handler),
+            fanout=64,
+        )
+        wall = time.perf_counter() - t0
+        if not report.complete:
+            raise AssertionError("bench_shell_fanout: sweep did not complete")
+        return wall, kernel.trace.to_jsonl()
+
+    wall_a, trace_a = sweep()
+    wall_b, trace_b = sweep()
+    if trace_a != trace_b:
+        raise AssertionError(
+            "bench_shell_fanout: same-seed traces differ between sweeps — "
+            "the fan-out/retry path has become non-deterministic"
+        )
+    wall = min(wall_a, wall_b)
+    return BenchResult("bench_shell_fanout", node_count / wall, wall, node_count)
+
+
 #: name -> bench function (full and quick variants share one function).
 BENCHES: dict[str, Callable[[bool], BenchResult]] = {
     "depsolver_closure": bench_depsolver_closure,
@@ -314,6 +372,7 @@ BENCHES: dict[str, Callable[[bool], BenchResult]] = {
     "scheduler_churn": bench_scheduler_churn,
     "kansas_install": bench_kansas_install,
     "bench_scale_10k": bench_scale_10k,
+    "bench_shell_fanout": bench_shell_fanout,
 }
 
 

@@ -470,18 +470,84 @@ class BaseScheduler:
             self.on_idle_change(self)
         self._try_start_jobs()
 
-    def drain_node(self, node: str, *, reason: str = "maintenance") -> None:
+    def drain_node(
+        self,
+        node: str,
+        *,
+        reason: str = "maintenance",
+        deadline_s: float | None = None,
+    ) -> None:
         """pbsnodes -o / scontrol drain: stop routing work to the node.
 
         Running jobs finish; the drain completes (node offline) as soon as
-        the node idles.
+        the node idles.  With ``deadline_s``, jobs still running when the
+        deadline expires are force-requeued (emitting ``job.requeue``) so
+        the drain is bounded — a rolling-update wave cannot hang forever
+        behind one straggler job.
         """
-        self.resources.set_draining(node, True)
-        self.kernel.trace.emit(
-            "node.drain", t_s=self.now_s, subsystem="scheduler",
-            node=node, reason=reason,
-        )
+        self.drain_nodes([node], reason=reason, deadline_s=deadline_s)
+
+    def drain_nodes(
+        self,
+        nodes: list[str],
+        *,
+        reason: str = "maintenance",
+        deadline_s: float | None = None,
+    ) -> None:
+        """Drain a batch of nodes under one (optional) shared deadline.
+
+        The batch form of :meth:`drain_node`: one ``node.drain`` event per
+        node, one deadline event and one idle-drain sweep for the whole
+        batch — what a wave-sized drain needs at fleet scale.
+        """
+        if deadline_s is not None and deadline_s <= 0:
+            raise SchedulerError(
+                f"drain deadline must be positive, got {deadline_s}"
+            )
+        for node in nodes:
+            self.resources.set_draining(node, True)
+            self.kernel.trace.emit(
+                "node.drain", t_s=self.now_s, subsystem="scheduler",
+                node=node, reason=reason,
+            )
+        if deadline_s is not None and nodes:
+            self.kernel.at(
+                self.now_s + deadline_s,
+                lambda batch=tuple(nodes): self._drain_deadline(batch),
+                label="drain.deadline",
+            )
         self._complete_drains()
+
+    def _drain_deadline(self, nodes: tuple[str, ...]) -> None:
+        """Deadline callback: force-requeue stragglers on draining nodes.
+
+        Nodes whose drain already completed (or was cancelled) are left
+        alone; for the rest, every running job touching them is requeued —
+        ``try_allocate`` excludes draining nodes, so the work lands
+        elsewhere — and the now-idle drains complete.
+        """
+        stragglers = frozenset(
+            node
+            for node in nodes
+            if self.resources.is_draining(node) and not self.resources.is_idle(node)
+        )
+        if stragglers:
+            affected = [
+                j
+                for j in self.running
+                if j.allocation is not None
+                and any(n in stragglers for n in j.allocation.node_names)
+            ]
+            for job in affected:
+                handle = self._completions.pop(job.job_id, None)
+                if handle is not None and handle.active:
+                    self.kernel.cancel(handle)
+                self.running.remove(job)
+                assert job.allocation is not None
+                self.resources.release(job.allocation)
+                self._requeue(job, reason="drain deadline")
+        self._complete_drains()
+        self._try_start_jobs()
 
     def undrain_node(self, node: str) -> None:
         """Cancel a drain (and bring a drained-offline node back)."""

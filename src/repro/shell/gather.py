@@ -1,0 +1,79 @@
+"""clubak-style output gathering: fold identical results, bucket by rc.
+
+A 10k-node ``clush`` run is unreadable as ten thousand output lines; the
+ClusterShell answer (``clubak``) is to merge identical outputs under one
+folded :class:`~repro.fleet.NodeSet` label::
+
+    compute-0-[0-9999]: ok
+    compute-3-[12,17]: yum: mirror unreachable [rc=1]
+
+:func:`gather` does the merge, :func:`bucket_by_rc` folds the same results
+per return code (the "which nodes failed" view), and :func:`worst_rc`
+gives the one-number summary a wave gate needs.  Everything sorts before
+it folds, so the grouping is deterministic and round-trips through
+``NodeSet.fold()``/``parse()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..fleet import NodeSet
+
+__all__ = ["OutputGroup", "gather", "bucket_by_rc", "worst_rc", "render_groups"]
+
+
+@dataclass(frozen=True)
+class OutputGroup:
+    """One merged result: every node that returned (``rc``, ``output``)."""
+
+    nodes: NodeSet
+    rc: int
+    output: str
+
+    @property
+    def count(self) -> int:
+        return len(self.nodes)
+
+    def label(self) -> str:
+        """The clubak line for this group."""
+        suffix = f" [rc={self.rc}]" if self.rc else ""
+        return f"{self.nodes}: {self.output}{suffix}"
+
+
+def gather(results: Iterable[tuple[str, int, str]]) -> list[OutputGroup]:
+    """Merge ``(node, rc, output)`` triples into folded groups.
+
+    Groups are keyed on the exact ``(rc, output)`` pair and returned
+    sorted by (rc, output) — clean results first, failures bucketed after
+    — with each group's nodes folded into one NodeSet.
+    """
+    buckets: dict[tuple[int, str], list[str]] = {}
+    for node, rc, output in results:
+        buckets.setdefault((rc, output), []).append(node)
+    return [
+        OutputGroup(nodes=NodeSet.from_names(names), rc=rc, output=output)
+        for (rc, output), names in sorted(buckets.items())
+    ]
+
+
+def bucket_by_rc(groups: Iterable[OutputGroup]) -> dict[int, NodeSet]:
+    """Fold groups down to one NodeSet per return code, sorted by rc."""
+    by_rc: dict[int, NodeSet] = {}
+    for group in groups:
+        existing = by_rc.get(group.rc)
+        by_rc[group.rc] = (
+            group.nodes if existing is None else existing | group.nodes
+        )
+    return dict(sorted(by_rc.items()))
+
+
+def worst_rc(groups: Iterable[OutputGroup]) -> int:
+    """The highest return code across all groups (0 when empty)."""
+    return max((g.rc for g in groups), default=0)
+
+
+def render_groups(groups: Iterable[OutputGroup]) -> str:
+    """The clubak listing: one folded label line per merged group."""
+    return "\n".join(group.label() for group in groups)

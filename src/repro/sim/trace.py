@@ -91,6 +91,20 @@ EVENT_SCHEMA: dict[str, dict[str, type]] = {
         "hosts_total": int,
         "load_total": float,
     },
+    # parallel admin execution and rolling updates (repro.shell)
+    "shell.cmd": {"nodes": str, "command": str, "fanout": int, "count": int},
+    "shell.retry": {"node": str, "attempt": int, "delay_s": float},
+    "shell.gather": {"nodes": str, "rc": int, "count": int},
+    "shell.wave": {
+        "wave": int,
+        "nodes": str,
+        "count": int,
+        "ok": int,
+        "failed": int,
+        "skipped": int,
+        "status": str,
+    },
+    "shell.abort": {"reason": str, "wave": int, "nodes": str},
 }
 
 

@@ -75,6 +75,20 @@ def test_cluster_shell_session():
     output = run_example("cluster_shell_session")
     assert "0 failures" in output
     assert "rocks list host" in output
+    assert "compute-0-[0-2]" in output          # nodeset --fold
+    assert "compute-0-[0-4]: CentOS 6.5" in output  # clubak folding
+
+
+def test_rolling_xnit_update():
+    output = run_example("rolling_xnit_update")
+    assert "traces byte-identical: True" in output
+    assert "auto-paused after wave" in output
+    assert "exceed max_failures=100" in output
+    assert "rack_failures_limit=50" in output       # rack failure domain
+    assert "final state: succeeded" in output       # resumed and finished
+    assert "compute-19-[0-207]" in output           # folded failed NodeSet
+    assert "compute-19-[208-399]" in output         # folded skipped remnant
+    assert "peak in-flight workers: 64 (bound: 64)" in output
 
 
 def test_fleet_wave_install():
