@@ -49,6 +49,8 @@ __all__ = [
     "SchedulerError",
     "JobError",
     "ShellError",
+    "RepodError",
+    "RepodFetchError",
     "LinpackError",
     "CompatibilityError",
     "DeploymentError",
@@ -272,6 +274,27 @@ class JobError(SchedulerError):
 
 class ShellError(ReproError):
     """Invalid parallel-execution request or a command transport failure."""
+
+
+# --- repository service (repro.repod) --------------------------------------------
+
+
+class RepodError(ReproError):
+    """Invalid repository-service request or configuration."""
+
+
+class RepodFetchError(RepodError):
+    """A fetch through the repository service failed (shed, refused, reset).
+
+    ``kind`` classifies the failure so callers can distinguish load
+    shedding (``shed``) from a dead origin (``refused``/``crash``) and a
+    flapping uplink (``reset``) — shedding is the service protecting
+    itself and is worth retrying later; a reset mid-transfer is transient.
+    """
+
+    def __init__(self, message: str, *, kind: str = "failed"):
+        super().__init__(message)
+        self.kind = kind
 
 
 # --- linpack / core -------------------------------------------------------------

@@ -19,7 +19,7 @@ Three layers, importable in increasing weight:
 
 from .inject import ActiveFault, FaultInjector
 from .plan import FaultKind, FaultPlan, FaultSpec
-from .retry import CircuitBreaker, RetryPolicy, call_with_retry
+from .retry import CircuitBreaker, RetryBudget, RetryPolicy, call_with_retry
 
 __all__ = [
     "ActiveFault",
@@ -28,6 +28,7 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultSpec",
+    "RetryBudget",
     "RetryPolicy",
     "call_with_retry",
 ]

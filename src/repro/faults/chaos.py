@@ -17,7 +17,12 @@ worked":
   strictly increasing sequence numbers;
 * **monitoring confluence** — permanently crashed nodes are on gmetad's
   dead list by the end of the run (nodes the supervisor repaired are
-  exempt: they came back, so staying off the dead list is correct).
+  exempt: they came back, so staying off the dead list is correct);
+* **rolling-update confluence** — a completed sweep leaves no node
+  draining and no wave both succeeded and aborted;
+* **repository-service confluence** — every ``repod.request`` reached a
+  terminal state exactly once (vacuous unless the run drove
+  :mod:`repro.repod`).
 
 The world implements the checkpointable protocol of
 :mod:`repro.recovery.checkpoint` — ``world_name`` / ``config`` /
@@ -556,4 +561,12 @@ def _audit(
         trace.events, resources=resources
     ):
         report.violations.append(f"rolling: {problem}")
+
+    # 8. repository-service confluence: every repod request terminal
+    #    exactly once, no leaked connection slots / queue entries / coalesce
+    #    groups (vacuous unless the run drove repro.repod)
+    from ..repod.storm import repod_confluence_problems
+
+    for problem in repod_confluence_problems(trace.events):
+        report.violations.append(f"repod: {problem}")
     return report

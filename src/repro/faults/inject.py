@@ -51,6 +51,8 @@ class FaultInjector:
         gmetad=None,
         mirrors=(),
         pxe=None,
+        origins=(),
+        proxies=(),
         crash_armed: bool = True,
     ) -> None:
         self.kernel = kernel
@@ -59,6 +61,10 @@ class FaultInjector:
         self.gmetad = gmetad
         self.mirrors = {m.local.repo_id: m for m in mirrors}
         self.pxe = pxe
+        #: repro.repod handles: RepoServer origins and SiteProxy caches,
+        #: addressed by their ``.name`` (the update-storm vocabulary).
+        self.origins = {o.name: o for o in origins}
+        self.proxies = {p.name: p for p in proxies}
         #: Whether a scheduled HEADNODE_CRASH actually kills the run.  The
         #: spec stays in the plan either way (so armed and disarmed runs
         #: schedule identical event sequences and stay byte-diffable); a
@@ -75,6 +81,8 @@ class FaultInjector:
             FaultKind.MIRROR_CORRUPT: (self._corrupt_mirror, None),
             FaultKind.HEARTBEAT_LOSS: (self._lose_heartbeat, self._restore_heartbeat),
             FaultKind.HEADNODE_CRASH: (self._crash_headnode, None),
+            FaultKind.ORIGIN_CRASH: (self._crash_origin, self._recover_origin),
+            FaultKind.CONN_RESET: (self._start_reset, self._stop_reset),
         }
 
     # -- wiring helpers ---------------------------------------------------------
@@ -176,6 +184,39 @@ class FaultInjector:
         # raises from the inject closure *before* fault.inject is emitted
         # (a dying frontend writes no log line).
         pass
+
+    def _origin(self, spec: FaultSpec):
+        try:
+            return self.origins[spec.target]
+        except KeyError:
+            known = ", ".join(sorted(self.origins)) or "none"
+            raise FaultError(
+                f"fault {spec.kind.value}: unknown origin {spec.target!r} "
+                f"(wired: {known})"
+            ) from None
+
+    def _proxy(self, spec: FaultSpec):
+        try:
+            return self.proxies[spec.target]
+        except KeyError:
+            known = ", ".join(sorted(self.proxies)) or "none"
+            raise FaultError(
+                f"fault {spec.kind.value}: unknown proxy {spec.target!r} "
+                f"(wired: {known})"
+            ) from None
+
+    def _crash_origin(self, spec: FaultSpec) -> None:
+        self._origin(spec).crash()
+
+    def _recover_origin(self, spec: FaultSpec) -> None:
+        self._origin(spec).recover()
+
+    def _start_reset(self, spec: FaultSpec) -> None:
+        loss = float(spec.params.get("loss_prob", 1.0))
+        self._proxy(spec).set_uplink_loss(loss)
+
+    def _stop_reset(self, spec: FaultSpec) -> None:
+        self._proxy(spec).set_uplink_loss(0.0)
 
     # -- application -------------------------------------------------------------
 

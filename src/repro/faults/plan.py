@@ -44,6 +44,8 @@ class FaultKind(str, Enum):
     MIRROR_CORRUPT = "mirror.corrupt"  # payloads arrive corrupted once
     HEARTBEAT_LOSS = "heartbeat.loss"  # gmond stops answering gmetad
     HEADNODE_CRASH = "headnode.crash"  # the frontend dies: the run itself stops
+    ORIGIN_CRASH = "origin.crash"      # the XNIT repo origin dies mid-storm
+    CONN_RESET = "conn.reset"          # a proxy uplink flaps: fetches reset
 
 
 #: Kinds whose effect ends on its own (count-based) — scheduling a
@@ -86,8 +88,10 @@ class FaultSpec:
                 f"{self.kind.value}@{self.target}: one-shot fault cannot "
                 f"have a duration"
             )
-        if self.kind is FaultKind.LINK_FLAP:
-            loss = self.params.get("loss_prob", 0.5)
+        if self.kind in (FaultKind.LINK_FLAP, FaultKind.CONN_RESET):
+            loss = self.params.get(
+                "loss_prob", 0.5 if self.kind is FaultKind.LINK_FLAP else 1.0
+            )
             if not isinstance(loss, (int, float)) or not 0 <= loss <= 1:
                 found.append(
                     f"{self.kind.value}@{self.target}: loss_prob must be "

@@ -14,6 +14,13 @@ a ``fault.retry`` / ``fault.giveup`` trace event.
 ``failure_threshold`` consecutive failures the circuit opens and calls
 fail fast (no load on the dying service) until ``reset_timeout_s`` of
 simulated time has passed, then one probe is allowed through (half-open).
+
+:class:`RetryBudget` guards the *aggregate*: a token bucket shared by all
+of one client's retry loops, so a degraded dependency sees the retry load
+decay (tokens run out, new retries are denied and fail fast) instead of
+every caller independently backing off into a synchronized storm.  SRE
+folklore calls this a retry budget; repro.repod's update-storm scenario
+is the workload that motivates it.
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ from typing import Callable, TypeVar
 
 from ..errors import FaultError, HeadnodeCrashError, ReproError, RetryExhaustedError
 
-__all__ = ["RetryPolicy", "CircuitBreaker", "call_with_retry"]
+__all__ = ["RetryPolicy", "CircuitBreaker", "RetryBudget", "call_with_retry"]
 
 T = TypeVar("T")
 
@@ -133,6 +140,87 @@ class CircuitBreaker:
             )
 
 
+class RetryBudget:
+    """A token bucket that caps how many retries a client may spend.
+
+    The bucket starts full at ``capacity`` tokens and refills continuously
+    at ``refill_per_s``; each retry costs one token (:meth:`try_spend`).
+    When the bucket is empty the retry is *denied* — the caller gives up
+    immediately instead of adding another attempt to a dependency that is
+    already drowning.  Individual backoff (:class:`RetryPolicy`) shapes
+    *when* a retry lands; the budget bounds *how many* land at all, which
+    is what turns a fleet-wide outage into decaying load instead of a
+    synchronized retry storm.
+
+    Wire a kernel in and every decision is published as a
+    ``repod.retry_budget`` trace event (the budget was built for the XNIT
+    repository service, but it is generic); without one it is pure
+    bookkeeping.  Refill is computed lazily from elapsed simulated time,
+    so the bucket never schedules events of its own.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: float = 10.0,
+        refill_per_s: float = 0.1,
+        owner: str = "retry-budget",
+        kernel=None,
+    ) -> None:
+        if capacity <= 0:
+            raise FaultError(f"budget capacity must be positive, got {capacity}")
+        if refill_per_s < 0:
+            raise FaultError(
+                f"refill rate must be non-negative, got {refill_per_s}"
+            )
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self.owner = owner
+        self.kernel = kernel
+        self._tokens = float(capacity)
+        self._updated_s = 0.0 if kernel is None else kernel.now_s
+        self.granted = 0
+        self.denied = 0
+
+    def tokens(self, now_s: float) -> float:
+        """The balance at ``now_s`` (refills lazily; never rewinds)."""
+        if now_s > self._updated_s:
+            self._tokens = min(
+                self.capacity,
+                self._tokens + (now_s - self._updated_s) * self.refill_per_s,
+            )
+            self._updated_s = now_s
+        return self._tokens
+
+    def try_spend(self, now_s: float, *, op: str = "retry") -> bool:
+        """Spend one token for a retry of ``op``; False = retry denied."""
+        balance = self.tokens(now_s)
+        allowed = balance >= 1.0
+        if allowed:
+            self._tokens = balance - 1.0
+            self.granted += 1
+        else:
+            self.denied += 1
+        if self.kernel is not None:
+            self.kernel.trace.emit(
+                "repod.retry_budget", t_s=now_s, subsystem="faults",
+                owner=self.owner, op=op, allowed=allowed,
+                tokens=round(self._tokens, 6),
+            )
+        return allowed
+
+    def state_dict(self) -> dict[str, float | int | str]:
+        return {
+            "owner": self.owner,
+            "capacity": self.capacity,
+            "refill_per_s": self.refill_per_s,
+            "tokens": self._tokens,
+            "updated_s": self._updated_s,
+            "granted": self.granted,
+            "denied": self.denied,
+        }
+
+
 def call_with_retry(
     kernel,
     fn: Callable[[], T],
@@ -142,6 +230,7 @@ def call_with_retry(
     subsystem: str = "faults",
     retry_on: tuple[type[BaseException], ...] = (ReproError,),
     breaker: CircuitBreaker | None = None,
+    budget: RetryBudget | None = None,
 ) -> T:
     """Run ``fn`` under ``policy`` on a :class:`~repro.sim.SimKernel`.
 
@@ -149,6 +238,17 @@ def call_with_retry(
     wait fire first), each retry emits ``fault.retry``, and exhaustion
     emits ``fault.giveup`` then raises
     :class:`~repro.errors.RetryExhaustedError` chaining the last failure.
+
+    With a ``deadline_s`` on the policy, a backoff that would oversleep
+    past the deadline is *clamped*: the loop sleeps exactly the remaining
+    budget (so co-simulated events inside that window still fire and the
+    giveup lands on the deadline, never past it) and the ``fault.giveup``
+    event reports the unslept remainder as ``unslept_s``.
+
+    A :class:`RetryBudget` governs the loop on top of the policy: every
+    retry must win a token first, and a denied token is an immediate
+    giveup (reason ``retry budget exhausted``) — no backoff, no further
+    load on the failing dependency.
     """
     if breaker is not None:
         breaker.guard(kernel.now_s, op)
@@ -169,18 +269,40 @@ def call_with_retry(
                 breaker.record_failure(kernel.now_s)
             out_of_attempts = attempt >= policy.max_attempts
             delay = policy.delay_for(attempt, kernel.rng)
-            over_deadline = (
-                policy.deadline_s is not None
-                and kernel.now_s + delay - started_s > policy.deadline_s
+            remaining_s = (
+                None
+                if policy.deadline_s is None
+                else policy.deadline_s - (kernel.now_s - started_s)
             )
+            over_deadline = remaining_s is not None and delay > remaining_s
             if out_of_attempts or over_deadline:
+                extra: dict[str, float] = {}
+                if over_deadline and not out_of_attempts:
+                    # Sleep only what the deadline allows — the giveup
+                    # lands exactly on the deadline, never past it — and
+                    # report the remainder the loop declined to sleep.
+                    slept_s = max(0.0, remaining_s)
+                    if slept_s > 0:
+                        kernel.run_until(kernel.now_s + slept_s)
+                    extra["unslept_s"] = delay - slept_s
                 kernel.trace.emit(
                     "fault.giveup", t_s=kernel.now_s, subsystem=subsystem,
-                    op=op, attempts=attempt,
+                    op=op, attempts=attempt, **extra,
                 )
                 reason = "deadline exceeded" if over_deadline else "attempts exhausted"
                 raise RetryExhaustedError(
                     f"{op} failed after {attempt} attempt(s) ({reason}): {exc}",
+                    attempts=attempt,
+                    last_error=exc,
+                ) from exc
+            if budget is not None and not budget.try_spend(kernel.now_s, op=op):
+                kernel.trace.emit(
+                    "fault.giveup", t_s=kernel.now_s, subsystem=subsystem,
+                    op=op, attempts=attempt,
+                )
+                raise RetryExhaustedError(
+                    f"{op} failed after {attempt} attempt(s) "
+                    f"(retry budget exhausted): {exc}",
                     attempts=attempt,
                     last_error=exc,
                 ) from exc

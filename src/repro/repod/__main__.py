@@ -1,0 +1,161 @@
+"""Update-storm CLI: drive the repository service through an overload run.
+
+::
+
+    python -m repro.repod                        # governed storm, default fleet
+    python -m repro.repod --naive-style          # the ablation: no retry budget,
+                                                 # hammering clients
+    python -m repro.repod --seed 7 --clients 10 --trace storm.jsonl
+    python -m repro.repod --check-determinism    # run twice, diff traces
+
+Exit codes: 0 the invariant audit is clean (and, in governed mode, the
+goodput floor holds); 1 audit findings or determinism divergence; 2 bad
+flags or setup errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from ..errors import ReproError
+from .storm import UpdateStormScenario
+
+_ABLATION_NOTE = (
+    "naive-style clients: fixed short backoff, no retry budget "
+    "(the pre-SRE baseline — expect a retry storm)"
+)
+
+
+def _run(args) -> tuple[UpdateStormScenario, object]:
+    scenario = UpdateStormScenario(
+        seed=args.seed,
+        campuses=args.campuses,
+        clients_per_campus=args.clients,
+        governed=not args.naive_style,
+        slots=args.slots,
+        queue_limit=args.queue_limit,
+        goodput_floor=args.goodput_floor,
+    )
+    report = scenario.run()
+    return scenario, report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.repod",
+        description="Run the XNIT repository service through an update "
+        "storm (origin crash + uplink flaps) and audit its invariants.",
+    )
+    parser.add_argument("--seed", type=int, default=2015, help="kernel RNG seed")
+    parser.add_argument(
+        "--campuses", type=int, default=None,
+        help="how many Table 3 campuses sync (default: all)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=6, metavar="N",
+        help="workshop clients per campus (default: 6)",
+    )
+    parser.add_argument(
+        "--slots", type=int, default=2,
+        help="origin connection slots (default: 2)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=2,
+        help="origin admission-queue depth (default: 2)",
+    )
+    parser.add_argument(
+        "--goodput-floor", type=float, default=0.9, metavar="F",
+        help="governed runs must deliver this fraction of offered "
+        "requests (default: 0.9)",
+    )
+    parser.add_argument(
+        "--naive-style", action="store_true", help=_ABLATION_NOTE
+    )
+    parser.add_argument(
+        "--trace", type=pathlib.Path, default=None,
+        help="write the JSONL trace here",
+    )
+    parser.add_argument(
+        "--check-determinism", action="store_true",
+        help="run the scenario twice and require byte-identical traces",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress the report")
+    args = parser.parse_args(argv)
+
+    try:
+        scenario, report = _run(args)
+    except (ReproError, OSError) as exc:
+        print(f"storm run failed: {exc}", file=sys.stderr)
+        return 2
+
+    jsonl = scenario.kernel.trace.to_jsonl()
+    if args.trace is not None:
+        args.trace.write_text(jsonl)
+
+    if args.json:
+        # Machine output: --quiet silences the human report, not this.
+        print(json.dumps(report.state_dict(), indent=1, sort_keys=True))
+    elif not args.quiet:
+        style = "naive" if args.naive_style else "governed"
+        print(
+            f"storm: {style} seed={args.seed} "
+            f"campuses={report.campuses} clients={report.clients} "
+            f"t_end={report.elapsed_s:.0f}s"
+        )
+        print(
+            f"  offered={report.offered} ok={report.ok} "
+            f"stale={report.stale} failed={report.failed} "
+            f"goodput={report.goodput_ratio:.1%}"
+        )
+        print(
+            f"  origin: arrivals={report.origin_arrivals} "
+            f"served={report.origin_served} "
+            f"shed={report.origin_shed_full + report.origin_shed_deadline} "
+            f"refused={report.origin_refused}"
+        )
+        print(
+            f"  proxies: hits={report.proxy_hits} "
+            f"misses={report.proxy_misses} "
+            f"coalesced={report.proxy_coalesced} "
+            f"stale_served={report.proxy_stale_served} "
+            f"resets={report.uplink_resets}"
+        )
+        print(
+            f"  retries={report.retries} "
+            f"budget granted={report.budget_granted} "
+            f"denied={report.budget_denied}"
+        )
+        if report.problems:
+            print("INVARIANT VIOLATIONS:")
+            for problem in report.problems:
+                print(f"  - {problem}")
+        else:
+            print("invariants: all hold")
+
+    status = 0 if not report.problems else 1
+
+    if args.check_determinism:
+        rerun, _ = _run(args)
+        if rerun.kernel.trace.to_jsonl() != jsonl:
+            print(
+                "determinism check FAILED: same seed produced different "
+                "traces", file=sys.stderr,
+            )
+            status = 1
+        elif not args.quiet:
+            print(
+                f"determinism check: OK "
+                f"({len(jsonl.encode())} bytes, both runs identical)"
+            )
+
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""The campus sync client: polite retries under a token-bucket budget.
+
+:class:`RepoClient` walks a list of artifacts (the security release) and
+fetches each through its campus :class:`~repro.repod.proxy.SiteProxy`.
+Failures are retried with the same seeded exponential backoff as
+:class:`~repro.faults.RetryPolicy` — but every retry after the first
+attempt must be *paid for* from a shared :class:`~repro.faults.RetryBudget`.
+When the origin is down and every campus is failing at once, the budget
+is what turns a retry storm (load multiplies exactly when capacity
+vanishes) into load *decay*: clients that can't afford a retry record a
+terminal failure and stand down until the next sync.
+
+Every artifact reaches **exactly one** terminal state, emitted as a
+``repod.request`` trace event with outcome ``ok`` (fresh bytes),
+``stale`` (the proxy degraded gracefully), or ``failed`` — the
+exactly-once property is chaos invariant 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RepodError
+
+__all__ = ["RepoClient", "RequestRecord"]
+
+
+@dataclass
+class RequestRecord:
+    """One artifact's journey: attempts made and the terminal outcome."""
+
+    artifact: str
+    started_s: float
+    attempts: int = 0
+    outcome: str = ""  # ok | stale | failed
+    source: str = ""
+    finished_s: float = 0.0
+    failure_kinds: list[str] = field(default_factory=list)
+
+
+class RepoClient:
+    """One campus workstation syncing a release through the proxy tier."""
+
+    def __init__(
+        self,
+        name: str,
+        proxy,
+        *,
+        kernel,
+        policy,
+        budget=None,
+        patience_s: float = 900.0,
+        local=None,
+    ) -> None:
+        if patience_s <= 0:
+            raise RepodError(f"patience must be positive, got {patience_s}")
+        self.name = name
+        self.proxy = proxy
+        self.kernel = kernel
+        self.policy = policy
+        self.budget = budget
+        self.patience_s = patience_s
+        #: optional local Repository that delivered packages land in
+        self.local = local
+        self.records: dict[str, RequestRecord] = {}
+        self.done = False
+
+    # -- public API ---------------------------------------------------------------
+
+    def sync(self, artifacts, *, at_s: float = 0.0) -> None:
+        """Schedule a sequential sync of ``artifacts`` starting at ``at_s``."""
+        queue = list(artifacts)
+        if not queue:
+            self.done = True
+            return
+        self.kernel.at(
+            at_s, lambda: self._next_artifact(queue),
+            label=f"repod.sync:{self.name}",
+        )
+
+    def _next_artifact(self, queue) -> None:
+        if not queue:
+            self.done = True
+            return
+        artifact = queue.pop(0)
+        record = RequestRecord(artifact=artifact, started_s=self.kernel.now_s)
+        self.records[artifact] = record
+        self._attempt(record, queue)
+
+    # -- one attempt + the retry ladder ---------------------------------------------
+
+    def _attempt(self, record: RequestRecord, queue) -> None:
+        record.attempts += 1
+        attempt = record.attempts
+        deadline_s = record.started_s + self.patience_s
+
+        def on_result(result) -> None:
+            if result.ok:
+                self._finish(record, result, queue)
+                return
+            record.failure_kinds.append(result.error_kind or "failed")
+            self._maybe_retry(record, result, queue)
+
+        self.proxy.request(
+            record.artifact,
+            requester=f"{self.name}#{attempt}",
+            deadline_s=deadline_s,
+            on_result=on_result,
+        )
+
+    def _maybe_retry(self, record: RequestRecord, result, queue) -> None:
+        now_s = self.kernel.now_s
+        out_of_attempts = record.attempts >= self.policy.max_attempts
+        out_of_patience = now_s - record.started_s >= self.patience_s
+        if out_of_attempts or out_of_patience:
+            self._finish(record, result, queue)
+            return
+        if self.budget is not None and not self.budget.try_spend(
+            now_s, op=f"{self.name}:{record.artifact}"
+        ):
+            # The bucket is dry: this is the storm-brake doing its job.
+            # Record a terminal failure instead of piling on.
+            self._finish(record, result, queue)
+            return
+        delay_s = self.policy.delay_for(record.attempts, self.kernel.rng)
+        remaining_s = self.patience_s - (now_s - record.started_s)
+        delay_s = min(delay_s, max(0.0, remaining_s))
+        self.kernel.trace.emit(
+            "fault.retry", t_s=now_s, subsystem="repod",
+            op=f"{self.name}:{record.artifact}", attempt=record.attempts,
+            delay_s=round(delay_s, 6),
+        )
+        self.kernel.at(
+            now_s + delay_s, lambda: self._attempt(record, queue),
+            label=f"repod.retry:{self.name}:{record.artifact}",
+        )
+
+    def _finish(self, record: RequestRecord, result, queue) -> None:
+        if record.outcome:
+            raise RepodError(
+                f"client {self.name}: duplicate terminal state for "
+                f"{record.artifact!r} ({record.outcome} then again)"
+            )
+        if result.ok:
+            record.outcome = "stale" if result.source.endswith("-stale") else "ok"
+            if self.local is not None and result.package is not None:
+                self.local.add(result.package)
+        else:
+            record.outcome = "failed"
+        record.source = result.source
+        record.finished_s = self.kernel.now_s
+        self.kernel.trace.emit(
+            "repod.request", t_s=self.kernel.now_s, subsystem="repod",
+            req=f"{self.name}:{record.artifact}", client=self.name,
+            artifact=record.artifact, outcome=record.outcome,
+            source=record.source,
+            elapsed_s=round(record.finished_s - record.started_s, 6),
+        )
+        self._next_artifact(queue)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def outcomes(self) -> dict[str, str]:
+        return {name: rec.outcome for name, rec in sorted(self.records.items())}
+
+    def problems(self) -> list[str]:
+        out = []
+        if not self.done:
+            out.append(f"client {self.name}: sync never completed")
+        for name, rec in sorted(self.records.items()):
+            if not rec.outcome:
+                out.append(
+                    f"client {self.name}: {name!r} has no terminal outcome"
+                )
+        return out

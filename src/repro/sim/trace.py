@@ -105,6 +105,24 @@ EVENT_SCHEMA: dict[str, dict[str, type]] = {
         "status": str,
     },
     "shell.abort": {"reason": str, "wave": int, "nodes": str},
+    # the XNIT repository service under load (repro.repod)
+    "repod.request": {
+        "req": str,
+        "client": str,
+        "artifact": str,
+        "outcome": str,
+        "source": str,
+        "elapsed_s": float,
+    },
+    "repod.shed": {"origin": str, "artifact": str, "reason": str, "queued": int},
+    "repod.coalesce": {"proxy": str, "artifact": str, "waiters": int},
+    "repod.stale": {"proxy": str, "artifact": str, "age_s": float},
+    "repod.retry_budget": {
+        "owner": str,
+        "op": str,
+        "allowed": bool,
+        "tokens": float,
+    },
 }
 
 

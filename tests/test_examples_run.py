@@ -98,6 +98,15 @@ def test_fleet_wave_install():
     assert "dead: ['compute-0-17']" in output  # hierarchical dead-host path
 
 
+def test_update_storm():
+    output = run_example("update_storm")
+    assert "traces byte-identical: True" in output
+    assert "goodput 100.0%" in output
+    assert "invariant audit: clean" in output
+    assert "repod.coalesce" in output and "repod.stale" in output
+    assert "repod.shed" in output and "repod.retry_budget" in output
+
+
 def test_rebuild_table3_fleet():
     output = run_example("rebuild_table3_fleet")
     assert "304   2708  49.61" in output
