@@ -1,0 +1,609 @@
+"""The stratum hierarchy: origin catalog, replicas, and site chunk caches.
+
+CVMFS's deployment shape, applied to package delivery:
+
+* :class:`Stratum0` — the origin.  It owns the catalog: an append-only
+  run of *generations*, each mapping NEVRA → :class:`PackageManifest`.
+  Publishing a release is a **transactional catalog flip** journaled
+  through :mod:`repro.recovery` (intent → retain chunks + append
+  generation → applied → commit), so a crash mid-publish leaves an open
+  journal transaction that :func:`recover_stratum0` rolls back — the
+  half-published generation vanishes, refcounts and all.  Rollback is a
+  *new* generation pointing at the previous content (Guix-style: the
+  serial only ever moves forward, which is what lets downstream caches
+  keep their monotonic release protocol).
+* :class:`Stratum1` — a full replica.  :meth:`Stratum1.replicate` moves
+  only the chunks the replica does not already hold — the delta is
+  *missing chunks*, not missing NEVRAs — and an interrupted replication
+  keeps everything that landed, so the retry resumes at chunk
+  granularity.
+* :class:`SiteChunkCache` — the campus tier.  It holds whatever chunks
+  local installs have pulled (``_chunk_cache``), fetches misses from its
+  upstream on first reference, and can be seeded for free by a
+  :class:`~repro.repod.SiteProxy` that already paid to move a package
+  over its uplink (:meth:`SiteChunkCache.ingest_package`).
+
+Chunks are content-addressed, so a release never *invalidates* cached
+chunks — the ``_chunk_epoch`` marker records the newest origin serial the
+cache has heard of (the simlint SL202 validity marker), and only catalog
+lookups go stale, never content.
+
+All transfer time is spent on the shared simulation kernel; every tier
+traces its traffic as ``cas.*`` events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CasError, FaultError
+from ..faults.retry import RetryPolicy, call_with_retry
+from ..rpm.package import Package
+from ..sim import SimKernel
+from ..yum.mirror import MirrorLink
+from .chunks import Chunk, ChunkingPolicy, PackageManifest
+from .store import ChunkStore
+
+__all__ = [
+    "PublishStats",
+    "ReplicateStats",
+    "ChunkFetchStats",
+    "Stratum0",
+    "Stratum1",
+    "SiteChunkCache",
+    "recover_stratum0",
+]
+
+
+@dataclass
+class PublishStats:
+    """One catalog flip's accounting."""
+
+    serial: int
+    packages: int
+    chunks: int       # chunks referenced by the new generation
+    new_chunks: int   # chunks the store did not already hold
+    nbytes: int       # bytes those new chunks added (the dedup delta)
+
+
+@dataclass
+class ReplicateStats:
+    """One replication pass's accounting."""
+
+    serial: int
+    chunks: int    # chunks transferred (the missing delta)
+    nbytes: int
+    skipped: bool = False  # catalog already current; nothing to do
+
+
+@dataclass
+class ChunkFetchStats:
+    """One lazy fetch's accounting at one tier."""
+
+    artifact: str
+    chunks: int      # chunks requested
+    hit_chunks: int  # served from this tier's holdings
+    nbytes: int      # bytes pulled from upstream (the tier's WAN cost)
+
+
+class Stratum0:
+    """The origin: generation catalog + retained chunk store."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        kernel: SimKernel | None = None,
+        journal=None,
+        policy: ChunkingPolicy | None = None,
+    ) -> None:
+        self.name = name
+        self.kernel = kernel if kernel is not None else SimKernel()
+        #: optional write-ahead :class:`~repro.recovery.Journal`: each
+        #: publish (and rollback — also a flip) is a ``cas.publish``
+        #: transaction, so a crash mid-flip is recoverable.
+        self.journal = journal
+        self.policy = policy if policy is not None else ChunkingPolicy()
+        self.store = ChunkStore(f"{name}-store")
+        #: serial -> generation catalog (NEVRA -> manifest); generation 0
+        #: is the empty pre-release catalog.
+        self._catalogs: dict[int, dict[str, PackageManifest]] = {0: {}}
+        self.serial = 0
+
+    # -- catalog reads ---------------------------------------------------------
+
+    @property
+    def catalog(self) -> dict[str, PackageManifest]:
+        """The current generation's catalog (NEVRA -> manifest)."""
+        return self._catalogs[self.serial]
+
+    def catalog_at(self, serial: int) -> dict[str, PackageManifest]:
+        gen = self._catalogs.get(serial)
+        if gen is None:
+            raise CasError(
+                f"stratum0 {self.name}: generation {serial} unknown "
+                f"(pruned or never published)"
+            )
+        return gen
+
+    def manifest_for(self, nevra: str) -> PackageManifest:
+        manifest = self.catalog.get(nevra)
+        if manifest is None:
+            raise CasError(
+                f"stratum0 {self.name}: {nevra} not in generation {self.serial}"
+            )
+        return manifest
+
+    @property
+    def generations(self) -> list[int]:
+        return sorted(self._catalogs)
+
+    # -- the transactional flip ------------------------------------------------
+
+    def _flip(self, catalog: dict[str, PackageManifest], meta: str) -> PublishStats:
+        """Append ``catalog`` as the next generation (journaled, atomic)."""
+        next_serial = self.serial + 1
+        txn = (
+            self.journal.begin("cas.publish", catalog=self.name, note=meta)
+            if self.journal is not None
+            else None
+        )
+        flip_op = (
+            self.journal.intent(
+                txn, "flip", serial=next_serial, nevras=sorted(catalog)
+            )
+            if txn is not None
+            else None
+        )
+        new_chunks = 0
+        nbytes = 0
+        total = 0
+        for nevra in sorted(catalog):
+            manifest = catalog[nevra]
+            total += len(manifest.chunks)
+            for chunk in manifest.chunks:
+                if not self.store.has(chunk.digest):
+                    new_chunks += 1
+                    nbytes += chunk.size
+            self.store.retain(manifest)
+        self._catalogs[next_serial] = catalog
+        self.serial = next_serial
+        if txn is not None:
+            self.journal.applied(txn, flip_op)
+            self.journal.commit(txn)
+        return PublishStats(
+            serial=next_serial,
+            packages=len(catalog),
+            chunks=total,
+            new_chunks=new_chunks,
+            nbytes=nbytes,
+        )
+
+    def publish(self, packages: list[Package]) -> PublishStats:
+        """Flip the catalog to a new generation holding ``packages``.
+
+        The whole release is chunked and retained before the flip lands;
+        the chunk store deduplicates, so a version bump only adds the
+        delta chunks.
+        """
+        catalog = {p.nevra: self.policy.manifest(p) for p in packages}
+        stats = self._flip(catalog, "publish")
+        self.kernel.trace.emit(
+            "cas.publish", t_s=self.kernel.now_s, subsystem="cas",
+            catalog=self.name, serial=stats.serial, packages=stats.packages,
+            chunks=stats.chunks, new_chunks=stats.new_chunks,
+            nbytes=stats.nbytes,
+        )
+        return stats
+
+    def rollback(self) -> PublishStats:
+        """Revert to the previous generation's content — as a *new* one.
+
+        The serial moves forward (Guix generations, not git reset): the
+        new generation holds the old content, so downstream caches see a
+        normal monotonic release and their content-addressed chunks for
+        it are already warm.
+        """
+        if self.serial == 0:
+            raise CasError(
+                f"stratum0 {self.name}: nothing published, nothing to roll back"
+            )
+        restored = self.serial - 1
+        if restored not in self._catalogs:
+            raise CasError(
+                f"stratum0 {self.name}: generation {restored} was pruned; "
+                f"cannot roll back past it"
+            )
+        stats = self._flip(dict(self._catalogs[restored]), "rollback")
+        self.kernel.trace.emit(
+            "cas.rollback", t_s=self.kernel.now_s, subsystem="cas",
+            catalog=self.name, serial=stats.serial, restored=restored,
+        )
+        return stats
+
+    def prune(self, *, keep: int = 2) -> tuple[int, int, int]:
+        """Drop all but the newest ``keep`` generations and collect garbage.
+
+        Returns (generations dropped, chunks evicted, bytes freed).  This
+        is where a refcount leak would surface: a generation whose pins
+        were double-counted leaves its chunks uncollectable forever.
+        """
+        if keep < 1:
+            raise CasError(f"must keep at least one generation, got {keep}")
+        serials = sorted(self._catalogs)
+        doomed = serials[:-keep] if len(serials) > keep else []
+        for serial in doomed:
+            gen = self._catalogs.pop(serial)
+            for nevra in sorted(gen):
+                self.store.release(gen[nevra])
+        evicted, freed = self.store.gc()
+        return len(doomed), evicted, freed
+
+    def _undo_flip(self, serial: int) -> None:
+        """Recovery: make a half-published generation not-have-happened."""
+        gen = self._catalogs.pop(serial)
+        for nevra in sorted(gen):
+            self.store.release(gen[nevra])
+        self.serial = max(self._catalogs)
+        self.store.gc()
+
+    def live_manifests(self) -> list[PackageManifest]:
+        """Every retained manifest, one entry per generation referencing
+        it — the expected-refcount input for the store audit."""
+        out = []
+        for serial in sorted(self._catalogs):
+            gen = self._catalogs[serial]
+            for nevra in sorted(gen):
+                out.append(gen[nevra])
+        return out
+
+
+def recover_stratum0(journal, s0: Stratum0) -> list:
+    """Resolve open ``cas.publish`` transactions after a crash.
+
+    A crash between intent and commit may have left the new generation
+    half-landed (catalog appended, chunks retained, commit never written).
+    Each open transaction's flip is undone — generation removed, pins
+    released, orphaned chunks collected — so the catalog clients see is
+    exactly the last *committed* generation.  Returns the transactions
+    rolled back.
+    """
+    from ..recovery.journal import OpState
+
+    resolved = []
+    for txn in journal.open_txns("cas.publish"):
+        if txn.meta.get("catalog") != s0.name:
+            continue
+        for op in reversed(txn.ops):
+            if op.state is OpState.UNDONE:
+                continue
+            serial = op.payload.get("serial")
+            if (
+                serial is not None
+                and serial == s0.serial
+                and serial in s0._catalogs
+            ):
+                s0._undo_flip(serial)
+            journal.undone(txn, op)
+        journal.rolled_back(txn)
+        resolved.append(txn)
+    return resolved
+
+
+class Stratum1:
+    """A full replica of one stratum-0, synced at chunk granularity."""
+
+    def __init__(
+        self,
+        name: str,
+        origin: Stratum0,
+        link: MirrorLink,
+        *,
+        kernel: SimKernel | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.name = name
+        self.origin = origin
+        self.link = link
+        self.kernel = kernel if kernel is not None else origin.kernel
+        self.retry = retry
+        self.policy = origin.policy
+        self.store = ChunkStore(f"{name}-store")
+        #: the replicated catalog (NEVRA -> manifest), valid for origin
+        #: serial ``_catalog_epoch`` — the SL202 validity marker.
+        self._catalog_cache: dict[str, PackageManifest] = {}
+        self._catalog_epoch = -1  # -1: never replicated
+        #: manifests the current replicated generation pins in the store
+        self._retained: list[PackageManifest] = []
+        self._interruptions_pending = 0
+        self.replicate_history: list[ReplicateStats] = []
+
+    # -- fault injection -------------------------------------------------------
+
+    def inject_interruptions(self, count: int) -> None:
+        """Fail the next ``count`` replication passes mid-transfer; the
+        chunks that landed stay put, so the retry resumes the delta."""
+        if count < 0:
+            raise CasError(f"interruption count must be non-negative, got {count}")
+        self._interruptions_pending = count
+
+    # -- replication -----------------------------------------------------------
+
+    def _spend(self, seconds: float) -> None:
+        self.kernel.run_until(self.kernel.now_s + seconds)
+
+    @property
+    def is_current(self) -> bool:
+        return self._catalog_epoch == self.origin.serial
+
+    @property
+    def catalog(self) -> dict[str, PackageManifest]:
+        """The replicated catalog (may lag the origin until replicate())."""
+        return self._catalog_cache
+
+    def replicate(self) -> ReplicateStats:
+        """Bring the replica to the origin's generation, moving only the
+        chunks it does not already hold.
+
+        With a :class:`RetryPolicy`, interruptions retry with backoff and
+        every retry resumes from the chunks already landed.
+        """
+        if self.retry is None:
+            return self._replicate_once()
+        return call_with_retry(
+            self.kernel,
+            self._replicate_once,
+            policy=self.retry,
+            op=f"cas.replicate:{self.name}",
+            subsystem="cas",
+            retry_on=(CasError, FaultError),
+        )
+
+    def _replicate_once(self) -> ReplicateStats:
+        # Catalog probe always costs one round trip.
+        self._spend(self.link.transfer_time_s(16 * 1024))
+        target_serial = self.origin.serial
+        if self._catalog_epoch == target_serial:
+            stats = ReplicateStats(
+                serial=target_serial, chunks=0, nbytes=0, skipped=True
+            )
+            self.replicate_history.append(stats)
+            self.kernel.trace.emit(
+                "cas.replicate", t_s=self.kernel.now_s, subsystem="cas",
+                replica=self.name, serial=target_serial, chunks=0, nbytes=0,
+                skipped=True,
+            )
+            return stats
+        target = self.origin.catalog_at(target_serial)
+        ordered = [target[nevra] for nevra in sorted(target)]
+        missing = self.store.missing_of(
+            [c for manifest in ordered for c in manifest.chunks]
+        )
+        if self._interruptions_pending > 0:
+            self._interruptions_pending -= 1
+            landed = missing[: len(missing) // 2]
+            nbytes = 0
+            for chunk in landed:
+                self.store.put(chunk)
+                nbytes += chunk.size
+            if nbytes:
+                self._spend(self.link.transfer_time_s(nbytes))
+            raise CasError(
+                f"stratum1 {self.name}: replication interrupted after "
+                f"{len(landed)}/{len(missing)} chunk(s); landed chunks kept "
+                f"for resume"
+            )
+        nbytes = 0
+        for chunk in missing:
+            self.store.put(chunk)
+            nbytes += chunk.size
+        if missing:
+            self._spend(self.link.transfer_time_s(nbytes))
+        # Flip: pin the new generation before unpinning the old one, so a
+        # chunk shared by both is never transiently collectable.
+        for manifest in ordered:
+            self.store.retain(manifest)
+        for manifest in self._retained:
+            self.store.release(manifest)
+        self._retained = ordered
+        self._catalog_cache = dict(target)
+        self._catalog_epoch = target_serial
+        stats = ReplicateStats(
+            serial=target_serial, chunks=len(missing), nbytes=nbytes
+        )
+        self.replicate_history.append(stats)
+        self.kernel.trace.emit(
+            "cas.replicate", t_s=self.kernel.now_s, subsystem="cas",
+            replica=self.name, serial=target_serial, chunks=len(missing),
+            nbytes=nbytes, skipped=False,
+        )
+        return stats
+
+    # -- the lazy downstream pull path -----------------------------------------
+
+    def fetch_chunks(
+        self, chunks: list[Chunk], *, artifact: str, requester: str = "cache"
+    ) -> ChunkFetchStats:
+        """Serve chunks to a downstream tier, pulling misses from the
+        origin on first reference (lazy hierarchy fill)."""
+        missing = self.store.missing_of(chunks)
+        nbytes = 0
+        for chunk in missing:
+            if not self.origin.store.has(chunk.digest):
+                raise CasError(
+                    f"stratum1 {self.name}: chunk {chunk.short} of "
+                    f"{artifact} not at origin {self.origin.name} "
+                    f"(requested by {requester})"
+                )
+            nbytes += chunk.size
+        if missing:
+            self._spend(self.link.transfer_time_s(nbytes))
+            for chunk in missing:
+                self.store.put(chunk)
+        stats = ChunkFetchStats(
+            artifact=artifact,
+            chunks=len(chunks),
+            hit_chunks=len(chunks) - len(missing),
+            nbytes=nbytes,
+        )
+        self.kernel.trace.emit(
+            "cas.fetch", t_s=self.kernel.now_s, subsystem="cas",
+            tier=self.name, artifact=artifact, chunks=stats.chunks,
+            hit_chunks=stats.hit_chunks, nbytes=nbytes,
+        )
+        return stats
+
+    def problems(self) -> list[str]:
+        """Replica audit: retained catalog content must all be present."""
+        out = self.store.refcount_problems(self._retained)
+        for manifest in self._retained:
+            for chunk in manifest.chunks:
+                if not self.store.has(chunk.digest):
+                    out.append(
+                        f"stratum1 {self.name}: replicated manifest "
+                        f"{manifest.nevra} missing chunk {chunk.short}"
+                    )
+        return out
+
+
+class SiteChunkCache:
+    """The campus tier: a lazy chunk cache in front of one upstream.
+
+    Chunks are content-addressed, so :meth:`notice_release` never evicts —
+    it advances ``_chunk_epoch`` (the newest origin serial this cache has
+    heard of), which gates *catalog* staleness only; any chunk the new
+    release still references is already warm.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        upstream: Stratum1 | None = None,
+        link: MirrorLink | None = None,
+        *,
+        kernel: SimKernel | None = None,
+        policy: ChunkingPolicy | None = None,
+    ) -> None:
+        if upstream is None and policy is None:
+            raise CasError(
+                f"site cache {name}: need an upstream or an explicit "
+                f"chunking policy"
+            )
+        self.name = name
+        self.upstream = upstream
+        self.link = link if link is not None else MirrorLink(
+            bandwidth_bytes_s=100 * 1024 * 1024, latency_s=0.002
+        )
+        if kernel is not None:
+            self.kernel = kernel
+        elif upstream is not None:
+            self.kernel = upstream.kernel
+        else:
+            self.kernel = SimKernel()
+        self.policy = policy if policy is not None else upstream.policy
+        #: digest -> size; validity marker ``_chunk_epoch`` below (SL202).
+        self._chunk_cache: dict[str, int] = {}
+        self._chunk_epoch = 0
+        # accounting
+        self.hits = 0
+        self.misses = 0
+        self.hit_bytes = 0
+        self.wan_bytes = 0
+        self.ingested = 0
+
+    def _spend(self, seconds: float) -> None:
+        self.kernel.run_until(self.kernel.now_s + seconds)
+
+    # -- release protocol ------------------------------------------------------
+
+    def notice_release(self, serial: int) -> None:
+        """A new origin generation exists.  Content stays; only the
+        serial marker advances (and, like the proxy tier, it refuses to
+        move backwards — rollback publishes forward)."""
+        if serial < self._chunk_epoch:
+            raise CasError(
+                f"site cache {self.name}: release serial went backwards "
+                f"({self._chunk_epoch} -> {serial})"
+            )
+        self._chunk_epoch = serial
+
+    # -- seeding ---------------------------------------------------------------
+
+    def ingest_package(self, pkg: Package) -> int:
+        """Seed the cache from a package whose bytes already arrived by
+        other means (a :class:`~repro.repod.SiteProxy` fetch paid the WAN
+        cost; the chunks come along for free).  Returns chunks added."""
+        added = 0
+        for chunk in self.policy.manifest(pkg).chunks:
+            if chunk.digest not in self._chunk_cache:
+                self._chunk_cache[chunk.digest] = chunk.size
+                added += 1
+        self.ingested += added
+        return added
+
+    def holds(self, digest: str) -> bool:
+        return digest in self._chunk_cache
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunk_cache)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._chunk_cache.values())
+
+    # -- the lazy fetch path ---------------------------------------------------
+
+    def fetch_chunks(
+        self, chunks: list[Chunk], *, artifact: str, requester: str = "node"
+    ) -> ChunkFetchStats:
+        """Serve a chunk list: hits from the cache, misses pulled from
+        upstream on first reference."""
+        seen: set[str] = set()
+        missing: list[Chunk] = []
+        hit_chunks = 0
+        for chunk in chunks:
+            if self.holds(chunk.digest):
+                hit_chunks += 1
+                self.hit_bytes += chunk.size
+            elif chunk.digest not in seen:
+                seen.add(chunk.digest)
+                missing.append(chunk)
+        nbytes = 0
+        if missing:
+            if self.upstream is None:
+                raise CasError(
+                    f"site cache {self.name}: {len(missing)} chunk(s) of "
+                    f"{artifact} not cached and no upstream to pull from"
+                )
+            self.upstream.fetch_chunks(
+                missing, artifact=artifact, requester=self.name
+            )
+            nbytes = sum(c.size for c in missing)
+            self._spend(self.link.transfer_time_s(nbytes))
+            for chunk in missing:
+                self._chunk_cache[chunk.digest] = chunk.size
+        self.hits += hit_chunks
+        self.misses += len(missing)
+        self.wan_bytes += nbytes
+        stats = ChunkFetchStats(
+            artifact=artifact,
+            chunks=len(chunks),
+            hit_chunks=hit_chunks,
+            nbytes=nbytes,
+        )
+        self.kernel.trace.emit(
+            "cas.fetch", t_s=self.kernel.now_s, subsystem="cas",
+            tier=self.name, artifact=artifact, chunks=stats.chunks,
+            hit_chunks=hit_chunks, nbytes=nbytes,
+        )
+        return stats
+
+    def fetch_package(
+        self, pkg: Package, *, requester: str = "node"
+    ) -> ChunkFetchStats:
+        """Fetch every chunk of one package (manifest from the policy)."""
+        manifest = self.policy.manifest(pkg)
+        return self.fetch_chunks(
+            list(manifest.chunks), artifact=manifest.nevra, requester=requester
+        )

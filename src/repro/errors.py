@@ -51,6 +51,8 @@ __all__ = [
     "ShellError",
     "RepodError",
     "RepodFetchError",
+    "CasError",
+    "CasIntegrityError",
     "LinpackError",
     "CompatibilityError",
     "DeploymentError",
@@ -295,6 +297,17 @@ class RepodFetchError(RepodError):
     def __init__(self, message: str, *, kind: str = "failed"):
         super().__init__(message)
         self.kind = kind
+
+
+# --- content-addressed delivery (repro.cas) --------------------------------------
+
+
+class CasError(ReproError):
+    """Invalid content-addressed store or stratum-hierarchy operation."""
+
+
+class CasIntegrityError(CasError):
+    """Chunk content failed verification (digest mismatch, missing chunk)."""
 
 
 # --- linpack / core -------------------------------------------------------------

@@ -569,4 +569,12 @@ def _audit(
 
     for problem in repod_confluence_problems(trace.events):
         report.violations.append(f"repod: {problem}")
+
+    # 9. content-addressed delivery confluence: catalog serials only move
+    #    forward, replicas never regress, no fetch over-reports hits
+    #    (vacuous unless the run drove repro.cas)
+    from ..cas import cas_confluence_problems
+
+    for problem in cas_confluence_problems(trace.events):
+        report.violations.append(f"cas: {problem}")
     return report

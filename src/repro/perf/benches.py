@@ -246,7 +246,15 @@ def bench_scheduler_churn(quick: bool = False) -> BenchResult:
 def bench_kansas_install(quick: bool = False) -> BenchResult:
     """End-to-end XCBC build: hardware, leaf/spine network, PXE discovery,
     and the full software install on every node.  Quick mode builds Table
-    3's Marshall row (22 nodes) instead of Kansas (one timed round)."""
+    3's Marshall row (22 nodes) instead of Kansas (one timed round).
+
+    Quick mode forces ``wave_size=11`` so Marshall installs through the
+    same wave-shared-plan path Kansas auto-selects.  The auto-select
+    threshold (>32 nodes) would put Marshall on the node-at-a-time path,
+    whose per-node O(n²) validation is a *different* hot region — the
+    quick floor was measuring setup cost, ~15x off the full bench's
+    per-node rate, and a regression in the wave path could sail through
+    the smoke gate."""
     from ..core import build_xcbc_cluster
     from ..core.deployments import TABLE3_SITES, rebuild_site_hardware
     from ..yum.depsolver import clear_resolution_cache
@@ -259,7 +267,10 @@ def bench_kansas_install(quick: bool = False) -> BenchResult:
     clear_resolution_cache()
     machine = rebuild_site_hardware(site)
     t0 = time.perf_counter()
-    report = build_xcbc_cluster(machine, include_optional_rolls=False)
+    report = build_xcbc_cluster(
+        machine, include_optional_rolls=False,
+        wave_size=11 if quick else None,
+    )
     wall = time.perf_counter() - t0
     nodes = report.node_count
     return BenchResult("kansas_install", nodes / wall, wall, nodes)
@@ -416,6 +427,144 @@ def bench_repod_storm(quick: bool = False) -> BenchResult:
                        report.offered)
 
 
+def bench_cas_delivery(quick: bool = False) -> BenchResult:
+    """Content-addressed lazy delivery vs full mirroring, across a WAN.
+
+    A release (v1) and a security update (v2) reach a fleet of campuses
+    two ways.  **Full-mirror baseline**: every campus runs a
+    :class:`~repro.yum.RepoMirror` and syncs both releases in full — the
+    update storm re-ships every changed NEVRA to every campus.
+    **CAS path**: one :class:`~repro.cas.Stratum0` publishes both
+    releases, one :class:`~repro.cas.Stratum1` replicates the chunk
+    delta, and each campus's :class:`~repro.cas.SiteChunkCache` pulls
+    chunks lazily as its nodes install (cold) and upgrade (storm) through
+    :class:`~repro.cas.LazyDelivery`.
+
+    Three contracts are enforced *inside* the bench:
+
+    * the CAS run executes twice with the same seed and the traces must
+      be byte-identical;
+    * update-storm WAN bytes must drop **>= 3x** vs the mirror baseline
+      (dedup means only the ~12.5% version-specific chunks move);
+    * under :func:`~repro.perf.naive.naive_mode` (dedup lookup disabled,
+      every chunk re-fetched) the advantage must collapse — or the chunk
+      store's ``missing_of`` is no longer what delivers the win.
+
+    ``n`` counts package deliveries (cold + storm) in one CAS run.
+    """
+    from ..cas import LazyDelivery, SiteChunkCache, Stratum0, Stratum1
+    from ..rpm.package import Package
+    from ..sim import SimKernel
+    from ..yum import RepoMirror, Repository
+    from ..yum.mirror import MirrorLink
+    from .naive import naive_mode
+
+    campuses = 3 if quick else 6
+    nodes_per_campus = 4 if quick else 10
+    n_pkgs = 12 if quick else 40
+    pkg_bytes = 512 * 1024
+
+    def release(version: str) -> list[Package]:
+        return [
+            Package(f"pkg{i}", version, size_bytes=pkg_bytes)
+            for i in range(n_pkgs)
+        ]
+
+    def mirror_baseline() -> int:
+        """WAN bytes for the v2 update storm, full-mirror style."""
+        update_wan = 0
+        for c in range(campuses):
+            kernel = SimKernel(seed=100 + c)
+            repo_v1 = Repository("xsede")
+            repo_v1.add_all(release("1.0"))
+            mirror = RepoMirror(
+                repo_v1,
+                MirrorLink(bandwidth_bytes_s=50 * 1024 * 1024, latency_s=0.04),
+                kernel=kernel,
+            )
+            mirror.sync()
+            repo_v2 = Repository("xsede")
+            repo_v2.add_all(release("2.0"))
+            mirror.upstream = repo_v2
+            update_wan += mirror.sync().bytes_transferred
+        return update_wan
+
+    def cas_run() -> tuple[float, int, int, str]:
+        """(wall_s, update-storm WAN bytes, deliveries, trace jsonl)."""
+        t0 = time.perf_counter()
+        kernel = SimKernel(seed=77)
+        s0 = Stratum0("xsede", kernel=kernel)
+        s1 = Stratum1(
+            "us-east", s0,
+            MirrorLink(bandwidth_bytes_s=50 * 1024 * 1024, latency_s=0.04),
+            kernel=kernel,
+        )
+        sites = [
+            SiteChunkCache(
+                f"campus{c}", s1,
+                MirrorLink(bandwidth_bytes_s=50 * 1024 * 1024, latency_s=0.04),
+                kernel=kernel,
+            )
+            for c in range(campuses)
+        ]
+        deliveries = [LazyDelivery(site) for site in sites]
+        n = 0
+
+        def storm(packages: list[Package]) -> None:
+            nonlocal n
+            for delivery in deliveries:
+                for node in range(nodes_per_campus):
+                    for pkg in packages:
+                        delivery.fetch_package(f"node{node}", pkg)
+                        n += 1
+
+        s0.publish(release("1.0"))
+        s1.replicate()
+        for site in sites:
+            site.notice_release(s0.serial)
+        storm(release("1.0"))                       # cold install
+        wan_before = sum(site.wan_bytes for site in sites)
+        s0.publish(release("2.0"))
+        rep_stats = s1.replicate()
+        for site in sites:
+            site.notice_release(s0.serial)
+        storm(release("2.0"))                       # the update storm
+        update_wan = (
+            sum(site.wan_bytes for site in sites) - wan_before
+            + rep_stats.nbytes
+        )
+        wall = time.perf_counter() - t0
+        return wall, update_wan, n, kernel.trace.to_jsonl()
+
+    mirror_update_wan = mirror_baseline()
+    wall_a, cas_update_wan, n, trace_a = cas_run()
+    wall_b, _, _, trace_b = cas_run()
+    if trace_a != trace_b:
+        raise AssertionError(
+            "bench_cas_delivery: same-seed traces differ between runs — "
+            "the chunk publish/replicate/fetch path has become "
+            "non-deterministic"
+        )
+    if cas_update_wan * 3 > mirror_update_wan:
+        raise AssertionError(
+            f"bench_cas_delivery: update-storm WAN bytes only dropped "
+            f"{mirror_update_wan / cas_update_wan:.1f}x "
+            f"({mirror_update_wan} -> {cas_update_wan}); the 3x floor is "
+            f"the point of content-addressed delivery"
+        )
+    with naive_mode():
+        _, naive_update_wan, _, _ = cas_run()
+    if naive_update_wan < 2 * cas_update_wan:
+        raise AssertionError(
+            f"bench_cas_delivery: naive ablation moved only "
+            f"{naive_update_wan} update bytes vs {cas_update_wan} deduped "
+            f"— disabling missing_of no longer changes the traffic, so "
+            f"the dedup lookup is not what is being measured"
+        )
+    wall = min(wall_a, wall_b)
+    return BenchResult("bench_cas_delivery", n / wall, wall, n)
+
+
 #: name -> bench function (full and quick variants share one function).
 BENCHES: dict[str, Callable[[bool], BenchResult]] = {
     "depsolver_closure": bench_depsolver_closure,
@@ -428,6 +577,7 @@ BENCHES: dict[str, Callable[[bool], BenchResult]] = {
     "bench_scale_10k": bench_scale_10k,
     "bench_shell_fanout": bench_shell_fanout,
     "bench_repod_storm": bench_repod_storm,
+    "bench_cas_delivery": bench_cas_delivery,
 }
 
 

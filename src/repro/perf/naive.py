@@ -9,7 +9,11 @@ back onto those scans and disables every cache layer:
 * ``RpmDatabase.providers_of`` / ``is_satisfied`` -> installed-set walks;
 * the depsolver's best-provider memo and whole-resolution LRU -> off;
 * ``TraceBus`` -> ``strict=True`` per-emit validation;
-* ``SimKernel.run_until`` -> one-at-a-time stepping (no batched pops).
+* ``SimKernel.run_until`` -> one-at-a-time stepping (no batched pops);
+* content-addressed dedup -> off: ``ChunkStore.missing_of`` reports every
+  chunk missing, ``SiteChunkCache.holds`` and ``LazyDelivery.node_holds``
+  never hit, so every tier re-fetches every chunk every time (the
+  "ship whole packages" world the CAS layer replaces).
 
 This is how ``python -m repro.perf --naive`` produces the "before" column
 of the before/after ablation without checking out an old tree.  It is a
@@ -27,6 +31,9 @@ __all__ = ["naive_mode"]
 @contextlib.contextmanager
 def naive_mode():
     """Context manager: scan implementations + caches off, restored on exit."""
+    from ..cas.delivery import LazyDelivery
+    from ..cas.store import ChunkStore
+    from ..cas.stratum import SiteChunkCache
     from ..rpm.database import RpmDatabase
     from ..sim.kernel import SimKernel
     from ..sim.trace import TraceBus
@@ -45,7 +52,21 @@ def naive_mode():
         "run_until": SimKernel.run_until,
         "cache_get": depsolver._cache_get,
         "cache_put": depsolver._cache_put,
+        "cas_missing": ChunkStore.missing_of,
+        "cas_holds": SiteChunkCache.holds,
+        "cas_node_holds": LazyDelivery.node_holds,
     }
+
+    def naive_missing_of(self, chunks):
+        # No dedup lookup: everything is "missing" (still unique within
+        # one request — a single transfer never ships one chunk twice).
+        seen = set()
+        out = []
+        for chunk in chunks:
+            if chunk.digest not in seen:
+                seen.add(chunk.digest)
+                out.append(chunk)
+        return out
 
     def strict_bus_init(self, *, enabled=True, strict=False):
         del strict
@@ -79,6 +100,9 @@ def naive_mode():
     SimKernel.run_until = stepping_run_until
     depsolver._cache_get = lambda key: None
     depsolver._cache_put = lambda key, resolution: None
+    ChunkStore.missing_of = naive_missing_of
+    SiteChunkCache.holds = lambda self, digest: False
+    LazyDelivery.node_holds = lambda self, node, digest: False
     try:
         yield
     finally:
@@ -93,3 +117,6 @@ def naive_mode():
         SimKernel.run_until = saved["run_until"]
         depsolver._cache_get = saved["cache_get"]
         depsolver._cache_put = saved["cache_put"]
+        ChunkStore.missing_of = saved["cas_missing"]
+        SiteChunkCache.holds = saved["cas_holds"]
+        LazyDelivery.node_holds = saved["cas_node_holds"]

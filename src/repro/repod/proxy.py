@@ -70,6 +70,9 @@ class SiteProxy:
         self._uplink_loss = 0.0
         #: scheduled LAN deliveries not yet fired (leak audit)
         self._pending_deliveries = 0
+        #: optional :class:`~repro.cas.SiteChunkCache` layered under this
+        #: proxy (see :meth:`attach_chunk_cache`)
+        self.chunk_cache = None
         # accounting
         self.hits = 0
         self.misses = 0
@@ -87,6 +90,18 @@ class SiteProxy:
                 f"({self._content_epoch} -> {serial})"
             )
         self._content_epoch = serial
+        if self.chunk_cache is not None:
+            self.chunk_cache.notice_release(serial)
+
+    def attach_chunk_cache(self, cache) -> None:
+        """Layer a content-addressed chunk cache under this proxy.
+
+        Release notices are forwarded (so the chunk tier's epoch tracks the
+        proxy's), and every package that resolves through the proxy seeds
+        the chunk cache for free — the bytes already crossed the WAN once;
+        nodes installing that package afterwards fetch zero upstream chunks.
+        """
+        self.chunk_cache = cache
 
     def set_uplink_loss(self, probability: float) -> None:
         """Flapping uplink: each origin fetch dies with this probability
@@ -167,6 +182,8 @@ class SiteProxy:
                 payload=result.payload, serial=result.serial,
                 fetched_at_s=self.kernel.now_s, package=result.package,
             )
+            if self.chunk_cache is not None and result.package is not None:
+                self.chunk_cache.ingest_package(result.package)
             for on_result in waiters:
                 self._deliver(
                     on_result,

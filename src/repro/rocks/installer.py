@@ -137,6 +137,7 @@ class RocksInstaller:
         scheduler: str = "torque",
         release: DistroRelease = CENTOS_6_5,
         journal=None,
+        delivery=None,
     ) -> None:
         standard = all_standard_rolls()
         if scheduler not in ("torque", "slurm", "sge"):
@@ -156,6 +157,10 @@ class RocksInstaller:
         #: entry instead of a silently half-registered host —
         #: :func:`recover_install` rolls the phantom record back.
         self.journal = journal
+        #: optional :class:`~repro.cas.LazyDelivery`: every kickstart
+        #: transaction pulls package chunks through the site cache on
+        #: first reference instead of assuming a pre-populated mirror.
+        self.delivery = delivery
         self._crash_macs: set[str] = set()
 
     def inject_kickstart_crash(self, mac: str) -> None:
@@ -261,7 +266,7 @@ class RocksInstaller:
         repos = RepoSet([distribution])
         wanted = graph.resolve_packages(profile)
         resolution = resolve_install(wanted, repos, db)
-        txn = Transaction(db)
+        txn = Transaction(db, delivery=self.delivery)
         for pkg in resolution.to_install:
             txn.install(pkg)
         if inject:

@@ -117,6 +117,7 @@ class Transaction:
         *,
         allow_downgrade: bool = False,
         journal: Journal | None = None,
+        delivery=None,
     ) -> None:
         self.db = db
         self.allow_downgrade = allow_downgrade
@@ -124,6 +125,11 @@ class Transaction:
         #: commit journals into a private in-memory one (rollback still
         #: walks the journal, but nothing survives the process).
         self.journal = journal
+        #: optional :class:`~repro.cas.LazyDelivery`: each install pulls the
+        #: package's missing chunks through the site cache hierarchy on
+        #: first reference, before the DB mutation.  A failed fetch aborts
+        #: the commit through the ordinary rollback path.
+        self.delivery = delivery
         self._installs: dict[str, Package] = {}
         self._erases: set[str] = set()
 
@@ -411,6 +417,10 @@ class Transaction:
                 else:
                     result.erased.append(old)
             for pkg in (by_nevra[n] for n in plan.order_nevras):
+                if self.delivery is not None:
+                    # Lazy content delivery: the package's bytes arrive
+                    # chunk-by-chunk only now, on first reference.
+                    self.delivery.fetch_package(self.db.host.name, pkg)
                 op = journal.intent(
                     txn, "install", name=pkg.name, nevra=pkg.nevra, obj=pkg
                 )

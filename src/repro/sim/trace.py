@@ -123,6 +123,30 @@ EVENT_SCHEMA: dict[str, dict[str, type]] = {
         "allowed": bool,
         "tokens": float,
     },
+    # content-addressed lazy delivery (repro.cas)
+    "cas.publish": {
+        "catalog": str,
+        "serial": int,
+        "packages": int,
+        "chunks": int,
+        "new_chunks": int,
+        "nbytes": int,
+    },
+    "cas.rollback": {"catalog": str, "serial": int, "restored": int},
+    "cas.replicate": {
+        "replica": str,
+        "serial": int,
+        "chunks": int,
+        "nbytes": int,
+        "skipped": bool,
+    },
+    "cas.fetch": {
+        "tier": str,
+        "artifact": str,
+        "chunks": int,
+        "hit_chunks": int,
+        "nbytes": int,
+    },
 }
 
 

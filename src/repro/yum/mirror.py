@@ -17,6 +17,14 @@ only the remaining delta is transferred.  Corrupted payloads are caught by
 per-package checksum verification and re-fetched within the same sync.
 Give the mirror a :class:`~repro.faults.RetryPolicy` and :meth:`sync`
 retries interruptions with seeded backoff instead of surfacing them.
+
+Pass a :class:`~repro.cas.ChunkStore` and the mirror goes
+**content-addressed**: the transfer delta becomes *missing chunks*
+instead of missing NEVRAs, so a version bump re-fetches only the chunks
+the new build actually changed, and an interruption resumes at chunk
+granularity — chunks that landed before the cut (including a partial
+package) are never moved twice.  The local repository contents are
+byte-for-byte identical either way; only the traffic shrinks.
 """
 
 from __future__ import annotations
@@ -70,6 +78,8 @@ class RepoMirror:
         kernel: SimKernel | None = None,
         retry: RetryPolicy | None = None,
         journal=None,
+        chunk_store=None,
+        chunking=None,
     ):
         self.upstream = upstream
         self.link = link
@@ -81,6 +91,18 @@ class RepoMirror:
         #: aborted).  Mirror syncs recover by *replay* — the delta recomputes
         #: against whatever landed, so a resync is idempotent.
         self.journal = journal
+        #: optional :class:`~repro.cas.ChunkStore`: syncs become
+        #: content-addressed (delta = missing chunks, dedup across RPM
+        #: versions).  ``chunking`` pins the hierarchy-wide
+        #: :class:`~repro.cas.ChunkingPolicy`; every tier must agree on it.
+        self.chunk_store = chunk_store
+        if chunk_store is not None and chunking is None:
+            from ..cas.chunks import ChunkingPolicy  # lazy: cas sits above yum
+
+            chunking = ChunkingPolicy()
+        self.chunking = chunking
+        #: nevra -> manifest the store currently pins for this mirror
+        self._retained_manifests: dict = {}
         self.local = Repository(
             repo_id or f"{upstream.repo_id}-mirror",
             name=f"{upstream.name} (local mirror)",
@@ -238,6 +260,9 @@ class RepoMirror:
         for nevra in to_remove:
             self.local.remove(nevra)
             stats.removed_nevras.append(nevra)
+            manifest = self._retained_manifests.pop(nevra, None)
+            if manifest is not None:
+                self.chunk_store.release(manifest)
 
         interrupted = self._interruptions_pending > 0 or (
             self._loss_probability > 0
@@ -250,11 +275,28 @@ class RepoMirror:
         for index, pkg in enumerate(to_fetch):
             if interrupted and index >= cutoff:
                 # The connection died mid-transfer.  Everything fetched so
-                # far stays on disk — the retry resumes from here.
+                # far stays on disk — the retry resumes from here.  In
+                # chunked mode the cut lands mid-*package*: the chunks of
+                # the in-flight package that already arrived are staged in
+                # the store (content is content), so the retry re-fetches
+                # only the remainder — resume at chunk granularity.
+                if self.chunk_store is not None:
+                    pending = self.chunk_store.missing_of(
+                        self.chunking.manifest(pkg).chunks
+                    )
+                    for chunk in pending[: len(pending) // 2]:
+                        self.chunk_store.put(chunk)
+                        stats.bytes_transferred += chunk.size
                 if stats.bytes_transferred:
+                    # Round trips follow what actually moved: one per
+                    # package that landed (plus corruption re-fetches),
+                    # never a charge for packages the cut prevented.
+                    requests = len(stats.fetched_nevras) + len(
+                        stats.refetched_nevras
+                    )
                     self._spend(
                         self.link.transfer_time_s(
-                            stats.bytes_transferred, requests=max(1, cutoff)
+                            stats.bytes_transferred, requests=max(1, requests)
                         )
                     )
                 stats.elapsed_s = self.kernel.now_s - started_s
@@ -273,20 +315,31 @@ class RepoMirror:
                     f"{len(stats.fetched_nevras)}/{len(to_fetch)} package(s); "
                     f"partial state kept for resume"
                 )
+            delta_bytes = pkg.size_bytes
+            if self.chunk_store is not None:
+                manifest = self.chunking.manifest(pkg)
+                delta_bytes = 0
+                for chunk in self.chunk_store.missing_of(manifest.chunks):
+                    self.chunk_store.put(chunk)
+                    delta_bytes += chunk.size
+                self.chunk_store.retain(manifest)
+                self._retained_manifests[pkg.nevra] = manifest
             self.local.add(pkg)
             stats.fetched_nevras.append(pkg.nevra)
-            stats.bytes_transferred += pkg.size_bytes
+            stats.bytes_transferred += delta_bytes
             if pkg.nevra in self._corrupt_once:
                 # Payload checksum mismatch: drop and fetch again (costing
                 # the extra bytes) — yum's "[Errno -1] Package does not
                 # match intended download" path.
                 self._corrupt_once.discard(pkg.nevra)
                 stats.refetched_nevras.append(pkg.nevra)
-                stats.bytes_transferred += pkg.size_bytes
-        if to_fetch and cutoff > 0:
+                stats.bytes_transferred += delta_bytes
+        if stats.fetched_nevras:
             self._spend(
                 self.link.transfer_time_s(
-                    stats.bytes_transferred, requests=len(to_fetch)
+                    stats.bytes_transferred,
+                    requests=len(stats.fetched_nevras)
+                    + len(stats.refetched_nevras),
                 )
             )
         stats.elapsed_s = self.kernel.now_s - started_s

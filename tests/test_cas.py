@@ -1,0 +1,581 @@
+"""Content-addressed lazy delivery: chunking, the store, the hierarchy.
+
+The heavyweight guarantees are property-based: a chunked mirror must end
+byte-identical to a whole-NEVRA mirror under any interleaving of
+publishes, interruptions, and corruptions; and no publish / rollback /
+prune churn may ever leak a chunk refcount.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cas import (
+    CHUNK_SIZE,
+    ChunkingPolicy,
+    ChunkStore,
+    LazyDelivery,
+    SiteChunkCache,
+    Stratum0,
+    Stratum1,
+    cas_confluence_problems,
+    chunk_package,
+    recover_stratum0,
+)
+from repro.errors import CasError, CasIntegrityError, YumError
+from repro.faults.retry import RetryPolicy
+from repro.recovery import Journal
+from repro.rpm import Package
+from repro.sim import SimKernel
+from repro.yum import MirrorLink, RepoMirror, Repository
+
+MB = 1024 * 1024
+
+
+def make_link():
+    return MirrorLink(bandwidth_bytes_s=50 * MB, latency_s=0.01)
+
+
+def release(version, n=6, size=2 * MB):
+    return [Package(f"pkg{i}", version, size_bytes=size) for i in range(n)]
+
+
+# --- chunking ---------------------------------------------------------------------
+
+
+class TestChunking:
+    def test_deterministic_and_sized(self):
+        pkg = Package("gcc", "4.8", size_bytes=3 * MB + 17)
+        a = chunk_package(pkg)
+        b = chunk_package(pkg)
+        assert a == b
+        assert sum(c.size for c in a.chunks) == pkg.size_bytes
+        assert len(a.chunks) == -(-pkg.size_bytes // CHUNK_SIZE)
+
+    def test_adjacent_versions_share_most_chunks(self):
+        v1 = chunk_package(Package("openmpi", "1.6", size_bytes=8 * MB))
+        v2 = chunk_package(Package("openmpi", "1.8", size_bytes=8 * MB))
+        shared = set(v1.digests) & set(v2.digests)
+        # delta_fraction defaults to 12.5%; sharing must clearly dominate
+        assert len(shared) > len(v2.chunks) // 2
+        assert set(v1.digests) != set(v2.digests) or v1 == v2
+
+    def test_different_names_never_collide(self):
+        a = chunk_package(Package("alpha", "1.0", size_bytes=MB))
+        b = chunk_package(Package("beta", "1.0", size_bytes=MB))
+        assert not set(a.digests) & set(b.digests)
+
+    def test_policy_validation(self):
+        with pytest.raises(CasError):
+            ChunkingPolicy(chunk_size=0)
+        with pytest.raises(CasError):
+            ChunkingPolicy(delta_fraction=1.5)
+
+
+# --- the chunk store --------------------------------------------------------------
+
+
+class TestChunkStore:
+    def test_put_dedups_and_verifies(self):
+        store = ChunkStore()
+        manifest = chunk_package(Package("a", "1.0", size_bytes=MB))
+        chunk = manifest.chunks[0]
+        assert store.put(chunk) is True
+        assert store.put(chunk) is False  # already held
+        from repro.cas.chunks import Chunk
+
+        with pytest.raises(CasIntegrityError):
+            store.put(Chunk(digest=chunk.digest, size=chunk.size + 1))
+
+    def test_refcounts_gc(self):
+        store = ChunkStore()
+        manifest = chunk_package(Package("a", "1.0", size_bytes=MB))
+        store.retain(manifest)
+        store.retain(manifest)
+        assert store.refcount(manifest.chunks[0].digest) == 2
+        store.release(manifest)
+        store.release(manifest)
+        evicted, freed = store.gc()
+        assert evicted == len(manifest.chunks)
+        assert freed == MB
+        assert store.chunk_count == 0
+        with pytest.raises(CasError):
+            store.release(manifest)  # would go negative
+
+    def test_missing_of_preserves_order(self):
+        store = ChunkStore()
+        manifest = chunk_package(Package("a", "1.0", size_bytes=3 * MB))
+        store.put(manifest.chunks[1])
+        missing = store.missing_of(manifest.chunks)
+        assert [c.digest for c in missing] == [
+            c.digest for c in manifest.chunks if c != manifest.chunks[1]
+        ]
+
+
+# --- stratum 0: transactional publish / rollback / prune --------------------------
+
+
+class TestStratum0:
+    def test_publish_dedups_delta(self):
+        s0 = Stratum0("origin", kernel=SimKernel(seed=1))
+        first = s0.publish(release("1.0"))
+        second = s0.publish(release("2.0"))
+        assert first.serial == 1 and second.serial == 2
+        assert first.new_chunks == first.chunks
+        assert second.new_chunks < second.chunks  # the dedup delta
+        assert second.nbytes < first.nbytes / 3
+
+    def test_rollback_moves_forward(self):
+        kernel = SimKernel(seed=2)
+        s0 = Stratum0("origin", kernel=kernel)
+        s0.publish(release("1.0"))
+        v1_catalog = dict(s0.catalog)
+        s0.publish(release("2.0"))
+        stats = s0.rollback()
+        assert stats.serial == 3  # Guix-style: a NEW generation
+        assert s0.catalog == v1_catalog
+        assert not cas_confluence_problems(kernel.trace.events, strata=[s0])
+
+    def test_rollback_empty_refuses(self):
+        with pytest.raises(CasError):
+            Stratum0("origin", kernel=SimKernel(seed=3)).rollback()
+
+    def test_prune_collects_dropped_generations(self):
+        s0 = Stratum0("origin", kernel=SimKernel(seed=4))
+        for v in ("1.0", "2.0", "3.0"):
+            s0.publish(release(v))
+        dropped, evicted, freed = s0.prune(keep=1)
+        assert dropped == 3  # generations 0, 1, 2
+        assert evicted > 0 and freed > 0
+        assert not s0.store.refcount_problems(s0.live_manifests())
+
+    def test_crash_mid_publish_recovers(self):
+        journal = Journal()
+        s0 = Stratum0("origin", kernel=SimKernel(seed=5), journal=journal)
+        s0.publish(release("1.0"))
+        # Simulate a crash between applied and commit: run the flip but
+        # leave the journal transaction open.
+        committed = s0.serial
+        catalog = {p.nevra: s0.policy.manifest(p) for p in release("2.0")}
+        txn = journal.begin("cas.publish", catalog=s0.name, note="publish")
+        journal.intent(txn, "flip", serial=s0.serial + 1, nevras=sorted(catalog))
+        for nevra in sorted(catalog):
+            s0.store.retain(catalog[nevra])
+        s0._catalogs[s0.serial + 1] = catalog
+        s0.serial += 1
+        # ... crash: no applied/commit.  Recovery undoes the half-flip.
+        resolved = recover_stratum0(journal, s0)
+        assert len(resolved) == 1
+        assert s0.serial == committed
+        assert not journal.open_txns("cas.publish")
+        assert not s0.store.refcount_problems(s0.live_manifests())
+
+
+# --- stratum 1: chunk-delta replication -------------------------------------------
+
+
+class TestStratum1:
+    def test_replicates_only_the_delta(self):
+        kernel = SimKernel(seed=6)
+        s0 = Stratum0("origin", kernel=kernel)
+        s1 = Stratum1("replica", s0, make_link(), kernel=kernel)
+        s0.publish(release("1.0"))
+        cold = s1.replicate()
+        s0.publish(release("2.0"))
+        update = s1.replicate()
+        assert not update.skipped
+        assert update.nbytes < cold.nbytes / 3
+        again = s1.replicate()
+        assert again.skipped and again.nbytes == 0
+        assert not s1.problems()
+
+    def test_interruption_resumes_at_chunk_granularity(self):
+        kernel = SimKernel(seed=7)
+        s0 = Stratum0("origin", kernel=kernel)
+        s1 = Stratum1("replica", s0, make_link(), kernel=kernel)
+        s0.publish(release("1.0"))
+        s1.inject_interruptions(1)
+        with pytest.raises(CasError):
+            s1.replicate()
+        landed = s1.store.chunk_count
+        assert landed > 0  # half the missing chunks stayed
+        resumed = s1.replicate()
+        assert resumed.chunks + landed == s0.store.chunk_count
+        assert s1.is_current
+        assert not s1.problems()
+
+    def test_retry_policy_drives_resume(self):
+        kernel = SimKernel(seed=8)
+        s0 = Stratum0("origin", kernel=kernel)
+        s1 = Stratum1(
+            "replica", s0, make_link(), kernel=kernel,
+            retry=RetryPolicy(max_attempts=4, base_delay_s=0.5),
+        )
+        s0.publish(release("1.0"))
+        s1.inject_interruptions(2)
+        stats = s1.replicate()  # retries internally
+        assert s1.is_current
+        assert stats.serial == s0.serial
+
+
+# --- the site tier + lazy delivery ------------------------------------------------
+
+
+class TestSiteCache:
+    def chain(self, seed=9):
+        kernel = SimKernel(seed=seed)
+        s0 = Stratum0("origin", kernel=kernel)
+        s1 = Stratum1("replica", s0, make_link(), kernel=kernel)
+        site = SiteChunkCache("campus", s1, make_link(), kernel=kernel)
+        return kernel, s0, s1, site
+
+    def test_needs_upstream_or_policy(self):
+        with pytest.raises(CasError):
+            SiteChunkCache("campus")
+
+    def test_wave_of_nodes_shares_one_upstream_pull(self):
+        kernel, s0, s1, site = self.chain()
+        pkgs = release("1.0")
+        s0.publish(pkgs)
+        s1.replicate()
+        delivery = LazyDelivery(site)
+        for node in range(8):
+            for pkg in pkgs:
+                delivery.fetch_package(f"node{node}", pkg)
+        total = sum(p.size_bytes for p in pkgs)
+        assert site.wan_bytes == total          # one copy crossed the uplink
+        assert delivery.stats.bytes_fetched == 8 * total  # LAN fan-out
+        assert not cas_confluence_problems(
+            kernel.trace.events, strata=[s0], replicas=[s1], caches=[site]
+        )
+
+    def test_update_moves_only_delta_chunks(self):
+        kernel, s0, s1, site = self.chain()
+        s0.publish(release("1.0"))
+        s1.replicate()
+        delivery = LazyDelivery(site)
+        for pkg in release("1.0"):
+            delivery.fetch_package("node0", pkg)
+        cold_wan = site.wan_bytes
+        s0.publish(release("2.0"))
+        s1.replicate()
+        site.notice_release(s0.serial)
+        for pkg in release("2.0"):
+            delivery.fetch_package("node0", pkg)
+        assert site.wan_bytes - cold_wan < cold_wan / 3
+        assert delivery.stats.bytes_reused > 0
+
+    def test_release_serial_never_regresses(self):
+        _, s0, _, site = self.chain()
+        s0.publish(release("1.0"))
+        site.notice_release(3)
+        with pytest.raises(CasError):
+            site.notice_release(2)
+
+    def test_no_upstream_miss_raises(self):
+        policy = ChunkingPolicy()
+        site = SiteChunkCache("island", policy=policy, kernel=SimKernel(seed=10))
+        with pytest.raises(CasError):
+            site.fetch_package(Package("a", "1.0", size_bytes=MB))
+
+    def test_ingest_makes_fetch_free(self):
+        policy = ChunkingPolicy()
+        site = SiteChunkCache("campus", policy=policy, kernel=SimKernel(seed=11))
+        pkg = Package("a", "1.0", size_bytes=MB)
+        assert site.ingest_package(pkg) == len(policy.manifest(pkg).chunks)
+        stats = site.fetch_package(pkg)
+        assert stats.nbytes == 0 and stats.hit_chunks == stats.chunks
+
+
+# --- SiteProxy integration --------------------------------------------------------
+
+
+class TestProxyIntegration:
+    def test_proxy_seeds_chunk_cache(self):
+        from repro.repod import RepoServer, SiteProxy
+
+        kernel = SimKernel(seed=12)
+        pkgs = release("1.0", n=3)
+        s0 = Stratum0("origin", kernel=kernel)
+        s0.publish(pkgs)
+        server = RepoServer("origin", kernel=kernel, link=make_link())
+        server.publish(pkgs)
+        proxy = SiteProxy("campus", server, kernel=kernel)
+        cache = SiteChunkCache("campus-chunks", policy=s0.policy, kernel=kernel)
+        proxy.attach_chunk_cache(cache)
+        proxy.notice_release(server.serial)
+        assert cache._chunk_epoch == server.serial  # forwarded
+        result = proxy.fetch_blocking(pkgs[0].name)
+        assert result.ok
+        assert cache.chunk_count == len(s0.policy.manifest(pkgs[0]).chunks)
+        # the package that came through the proxy now installs WAN-free
+        stats = LazyDelivery(cache).fetch_package("node0", pkgs[0])
+        assert stats.nbytes == 0
+
+    def test_proxy_forwards_backwards_serial_refusal(self):
+        from repro.repod import RepoServer, SiteProxy
+
+        kernel = SimKernel(seed=13)
+        server = RepoServer("origin", kernel=kernel, link=make_link())
+        proxy = SiteProxy("campus", server, kernel=kernel)
+        cache = SiteChunkCache(
+            "campus-chunks", policy=ChunkingPolicy(), kernel=kernel
+        )
+        proxy.attach_chunk_cache(cache)
+        proxy.notice_release(5)
+        assert cache._chunk_epoch == 5
+
+
+# --- installer integration --------------------------------------------------------
+
+
+class TestLazyInstall:
+    def test_transaction_fetch_failure_rolls_back(self):
+        from repro.distro import CENTOS_6_5, Host
+        from repro.errors import TransactionError
+        from repro.hardware import build_littlefe_modified
+        from repro.rpm import RpmDatabase, Transaction
+
+        host = Host(build_littlefe_modified().machine.head, CENTOS_6_5)
+        db = RpmDatabase(host)
+        # A site cache with no upstream and no content: every fetch fails.
+        site = SiteChunkCache(
+            "island", policy=ChunkingPolicy(), kernel=SimKernel(seed=14)
+        )
+        txn = Transaction(db, delivery=LazyDelivery(site))
+        txn.install(Package("solo", "1.0", size_bytes=MB))
+        with pytest.raises(TransactionError):
+            txn.commit()
+        assert not db.has("solo")  # rolled back, nothing half-landed
+
+    def test_installer_delivery_matches_plain_install(self):
+        from repro.hardware import build_littlefe_modified
+        from repro.rocks.installer import RocksInstaller
+
+        machine = build_littlefe_modified().machine
+        plain = RocksInstaller(machine).run()
+
+        kernel = SimKernel(seed=15)
+        s0 = Stratum0("xsede", kernel=kernel)
+        s0.publish(list(RocksInstaller(machine).build_distribution().all_packages()))
+        s1 = Stratum1("replica", s0, make_link(), kernel=kernel)
+        s1.replicate()
+        site = SiteChunkCache("campus", s1, make_link(), kernel=kernel)
+        delivery = LazyDelivery(site)
+        lazy = RocksInstaller(machine, delivery=delivery).run()
+
+        assert lazy.installed_everywhere() == plain.installed_everywhere()
+        assert delivery.stats.packages > 0
+        # wave sharing: the campus uplink moved far fewer bytes than the LAN
+        assert site.wan_bytes < delivery.stats.bytes_fetched
+        assert not cas_confluence_problems(
+            kernel.trace.events, strata=[s0], replicas=[s1], caches=[site]
+        )
+
+
+# --- chunked mirror sync ----------------------------------------------------------
+
+
+class TestChunkedMirror:
+    def test_zero_landed_interruption_charges_probe_only(self):
+        # Regression: an interrupted sync that landed nothing used to be
+        # charged requests=max(1, cutoff) round trips anyway.
+        kernel = SimKernel(seed=16)
+        upstream = Repository("one")
+        upstream.add(Package("solo", "1.0", size_bytes=4 * MB))
+        link = make_link()
+        mirror = RepoMirror(upstream, link, kernel=kernel)
+        mirror.inject_interruptions(1)
+        t0 = kernel.now_s
+        with pytest.raises(YumError):
+            mirror.sync()
+        assert kernel.now_s - t0 == pytest.approx(
+            link.transfer_time_s(16 * 1024)
+        )
+
+    def test_requests_follow_fetched_plus_refetched(self):
+        kernel = SimKernel(seed=17)
+        upstream = Repository("xsede")
+        upstream.add_all(release("1.0", n=4))
+        link = make_link()
+        mirror = RepoMirror(upstream, link, kernel=kernel)
+        mirror.corrupt_next({"pkg0-1.0-1.x86_64"})
+        t0 = kernel.now_s
+        stats = mirror.sync()
+        expected = link.transfer_time_s(16 * 1024) + link.transfer_time_s(
+            stats.bytes_transferred, requests=4 + 1
+        )
+        assert kernel.now_s - t0 == pytest.approx(expected)
+
+    def test_chunked_update_sync_moves_only_delta(self):
+        kernel = SimKernel(seed=18)
+        upstream = Repository("xsede")
+        upstream.add_all(release("1.0"))
+        mirror = RepoMirror(
+            upstream, make_link(), kernel=kernel, chunk_store=ChunkStore()
+        )
+        cold = mirror.sync()
+        v2 = Repository("xsede")
+        v2.add_all(release("2.0"))
+        mirror.upstream = v2
+        update = mirror.sync()
+        assert update.bytes_transferred < cold.bytes_transferred / 3
+        assert {p.nevra for p in mirror.local.all_packages()} == {
+            p.nevra for p in v2.all_packages()
+        }
+
+    def test_interrupted_chunked_sync_resumes_mid_package(self):
+        kernel = SimKernel(seed=19)
+        upstream = Repository("one")
+        upstream.add(Package("big", "1.0", size_bytes=8 * MB))
+        store = ChunkStore()
+        mirror = RepoMirror(
+            upstream, make_link(), kernel=kernel, chunk_store=store
+        )
+        mirror.inject_interruptions(1)
+        with pytest.raises(YumError):
+            mirror.sync()
+        staged = store.chunk_count
+        assert 0 < staged < 32  # half of one package's chunks landed
+        resumed = mirror.sync()
+        total = -(-8 * MB // CHUNK_SIZE) * CHUNK_SIZE
+        assert resumed.bytes_transferred == total - staged * CHUNK_SIZE
+
+
+# --- properties -------------------------------------------------------------------
+
+mirror_ops = st.lists(
+    st.sampled_from(["publish", "interrupt", "corrupt", "sync"]),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(mirror_ops)
+@settings(max_examples=25, deadline=None)
+def test_property_chunked_mirror_matches_whole_nevra(ops):
+    """Under any interleaving of publishes, interruptions, and corruptions,
+    a chunked mirror converges to the same contents as a whole-NEVRA
+    mirror, the chunked run is same-seed deterministic, and the store's
+    refcounts match its retained manifests."""
+
+    def drive(chunk_store):
+        kernel = SimKernel(seed=42)
+        version = 1
+        upstream = Repository("xsede")
+        upstream.add_all(release(f"{version}.0", n=4, size=MB))
+        mirror = RepoMirror(
+            upstream, make_link(), kernel=kernel, chunk_store=chunk_store
+        )
+        for op in ops:
+            if op == "publish":
+                version += 1
+                upstream = Repository("xsede")
+                upstream.add_all(release(f"{version}.0", n=4, size=MB))
+                mirror.upstream = upstream
+            elif op == "interrupt":
+                mirror.inject_interruptions(1)
+            elif op == "corrupt":
+                mirror.corrupt_next({f"pkg0-{version}.0-1.x86_64"})
+            else:
+                try:
+                    mirror.sync()
+                except YumError:
+                    pass
+        while True:  # final converging sync (interruptions may be pending)
+            try:
+                mirror.sync()
+                break
+            except YumError:
+                continue
+        return mirror, kernel.trace.to_jsonl()
+
+    plain, _ = drive(None)
+    store = ChunkStore()
+    chunked, trace_a = drive(store)
+    assert {p.nevra for p in chunked.local.all_packages()} == {
+        p.nevra for p in plain.local.all_packages()
+    }
+    _, trace_b = drive(ChunkStore())
+    assert trace_a == trace_b  # same-seed chunked runs are byte-identical
+    assert not store.refcount_problems(
+        list(chunked._retained_manifests.values())
+    )
+
+
+stratum_ops = st.lists(
+    st.sampled_from(["publish", "rollback", "prune", "replicate", "interrupt"]),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(stratum_ops)
+@settings(max_examples=25, deadline=None)
+def test_property_refcounts_never_leak(ops):
+    """Any interleaving of publish / rollback / prune / replicate leaves
+    the origin's and replica's refcounts exactly matching their live
+    catalogs — and the confluence audit agrees."""
+    kernel = SimKernel(seed=7)
+    s0 = Stratum0("origin", kernel=kernel)
+    s1 = Stratum1("replica", s0, make_link(), kernel=kernel)
+    version = 0
+    for op in ops:
+        if op == "publish":
+            version += 1
+            s0.publish(release(f"{version}.0", n=3, size=MB))
+        elif op == "rollback":
+            if s0.serial > 0 and s0.serial - 1 in s0._catalogs:
+                s0.rollback()
+        elif op == "prune":
+            s0.prune(keep=2)
+        elif op == "interrupt":
+            s1.inject_interruptions(1)
+        else:
+            try:
+                s1.replicate()
+            except CasError:
+                pass
+    s1.inject_interruptions(0)
+    s1.replicate()
+    assert not s0.store.refcount_problems(s0.live_manifests())
+    assert not s1.problems()
+    assert not cas_confluence_problems(
+        kernel.trace.events, strata=[s0], replicas=[s1]
+    )
+
+
+# --- chaos invariant 9 ------------------------------------------------------------
+
+
+class TestConfluenceAudit:
+    def test_backwards_serial_detected(self):
+        from repro.sim import TraceBus
+
+        bus = TraceBus()
+        bus.emit(
+            "cas.publish", t_s=0.0, subsystem="cas", catalog="o", serial=2,
+            packages=1, chunks=1, new_chunks=1, nbytes=1,
+        )
+        bus.emit(
+            "cas.publish", t_s=1.0, subsystem="cas", catalog="o", serial=1,
+            packages=1, chunks=1, new_chunks=1, nbytes=1,
+        )
+        problems = cas_confluence_problems(bus.events)
+        assert any("did not advance" in p for p in problems)
+
+    def test_overcounted_hits_detected(self):
+        from repro.sim import TraceBus
+
+        bus = TraceBus()
+        bus.emit(
+            "cas.fetch", t_s=0.0, subsystem="cas", tier="campus",
+            artifact="a", chunks=2, hit_chunks=3, nbytes=0,
+        )
+        problems = cas_confluence_problems(bus.events)
+        assert any("hits" in p for p in problems)
+
+    def test_vacuous_on_cas_free_trace(self):
+        from repro.sim import TraceBus
+
+        assert cas_confluence_problems(TraceBus().events) == []

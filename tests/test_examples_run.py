@@ -107,6 +107,15 @@ def test_update_storm():
     assert "repod.shed" in output and "repod.retry_budget" in output
 
 
+def test_lazy_delivery():
+    output = run_example("lazy_delivery")
+    assert "traces byte-identical: True" in output
+    assert "confluence audit: clean" in output
+    assert "deduplicated against v1" in output
+    assert "cas.publish" in output and "cas.rollback" in output
+    assert "cas.replicate" in output and "cas.fetch" in output
+
+
 def test_rebuild_table3_fleet():
     output = run_example("rebuild_table3_fleet")
     assert "304   2708  49.61" in output

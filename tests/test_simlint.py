@@ -221,7 +221,7 @@ class TestSourceTree:
         monkeypatch.chdir(ROOT)
         result = analyze_source(["src/repro/perf/benches.py"], config=ALL)
         assert {d.code for d in result.diagnostics} == {"SL101"}
-        assert len(result.diagnostics) == 10
+        assert len(result.diagnostics) == 12
 
     def test_iter_source_files_is_sorted_and_deduped(self, tmp_path):
         (tmp_path / "b.py").write_text("x = 1\n")
